@@ -1,0 +1,64 @@
+//! Criterion benches for the Table III architecture ablations: forward
+//! cost of the full SDM-PEB vs single-stage vs 2-D-scan variants, plus
+//! the loss-term evaluation costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use peb_tensor::{Tensor, Var};
+use sdm_peb::{PebLoss, PebPredictor, SdmPeb, SdmPebConfig};
+
+fn bench_model_variants(c: &mut Criterion) {
+    let dims = (8usize, 32usize, 32usize);
+    let mut rng = StdRng::seed_from_u64(13);
+    let acid = Tensor::rand_uniform(&[dims.0, dims.1, dims.2], 0.0, 0.9, &mut rng);
+    let mut group = c.benchmark_group("sdm_peb_variants_forward");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("full", SdmPebConfig::for_grid(dims)),
+        ("single_stage", SdmPebConfig::for_grid(dims).single_stage()),
+        ("scan_2d", SdmPebConfig::for_grid(dims).scan_2d()),
+        (
+            "non_overlapped_merging",
+            SdmPebConfig::for_grid(dims).non_overlapped(),
+        ),
+    ] {
+        let model = SdmPeb::new(cfg, &mut rng);
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(model.predict(&acid)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_loss_terms(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(14);
+    let target = Tensor::randn(&[8, 32, 32], &mut rng);
+    let pred = &target + &Tensor::randn(&[8, 32, 32], &mut rng).mul_scalar(0.1);
+    let loss = PebLoss::paper();
+    let mut group = c.benchmark_group("loss_terms");
+    group.sample_size(20);
+    group.bench_function("max_se", |b| {
+        b.iter(|| std::hint::black_box(loss.max_se(&Var::constant(pred.clone()), &target)))
+    });
+    group.bench_function("focal", |b| {
+        b.iter(|| std::hint::black_box(loss.focal(&Var::constant(pred.clone()), &target)))
+    });
+    group.bench_function("depth_divergence", |b| {
+        b.iter(|| {
+            std::hint::black_box(loss.depth_divergence(&Var::constant(pred.clone()), &target))
+        })
+    });
+    group.bench_function("combined_with_backward", |b| {
+        b.iter(|| {
+            let p = Var::parameter(pred.clone());
+            loss.combined(&p, &target).backward();
+            std::hint::black_box(p.grad())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_variants, bench_loss_terms);
+criterion_main!(benches);

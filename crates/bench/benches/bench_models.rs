@@ -1,0 +1,32 @@
+//! Criterion benches for the runtime (RT) column of Table II: inference
+//! cost of every learned PEB solver on one clip.
+//!
+//! Run with `cargo bench -p peb-bench --bench bench_models`. Grid size is
+//! fixed at the tiny preset so the suite completes on CPU; relative
+//! ordering (DeepCNN fastest, TEMPO-resist slowest) is the paper-shape
+//! target.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use peb_bench::{build_model, ModelKind};
+use peb_tensor::Tensor;
+
+fn bench_inference(c: &mut Criterion) {
+    let dims = (8usize, 32usize, 32usize);
+    let mut rng = StdRng::seed_from_u64(7);
+    let acid = Tensor::rand_uniform(&[dims.0, dims.1, dims.2], 0.0, 0.9, &mut rng);
+    let mut group = c.benchmark_group("table2_runtime");
+    group.sample_size(10);
+    for kind in ModelKind::TABLE2 {
+        let model = build_model(kind, dims);
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| std::hint::black_box(model.predict(&acid)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

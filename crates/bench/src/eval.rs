@@ -1,0 +1,119 @@
+//! Full Table II / Table III evaluation pipeline.
+
+use std::time::Instant;
+
+use peb_data::{Dataset, Sample};
+use peb_litho::LithoFlow;
+use peb_tensor::Tensor;
+use sdm_peb::{cd_error_nm, cd_histogram, nrmse, rmse, LabelTransform, PebPredictor};
+
+/// One evaluated row of Table II/III.
+#[derive(Debug, Clone)]
+pub struct EvalRow {
+    /// Model label.
+    pub name: String,
+    /// Inhibitor RMSE ×10⁻³ (paper column "RMSE (e-3)").
+    pub inhibitor_rmse_e3: f32,
+    /// Inhibitor NRMSE in percent.
+    pub inhibitor_nrmse_pct: f32,
+    /// Development-rate RMSE in nm/s.
+    pub rate_rmse: f32,
+    /// Development-rate NRMSE in percent.
+    pub rate_nrmse_pct: f32,
+    /// CD error in x (nm).
+    pub cd_x_nm: f32,
+    /// CD error in y (nm).
+    pub cd_y_nm: f32,
+    /// Mean inference runtime per clip (seconds).
+    pub runtime_s: f32,
+    /// CD-error histograms `(x, y)` in the Fig. 7 buckets (percent).
+    pub cd_hist: ([f32; 5], [f32; 5]),
+}
+
+/// Evaluates a trained model on the test split: decodes label-space
+/// predictions back to inhibitor concentrations, derives development
+/// rates and resist profiles through the same Mack/eikonal chain as the
+/// rigorous reference, and aggregates Eqs. 12–14.
+pub fn evaluate_model(model: &dyn PebPredictor, dataset: &Dataset, flow: &LithoFlow) -> EvalRow {
+    let label = LabelTransform {
+        kc: flow.peb.kc,
+        ..LabelTransform::paper()
+    };
+    let stats = peb_data::LabelStats::from_dataset(dataset);
+    let mut inh_rmse = 0f64;
+    let mut inh_nrmse = 0f64;
+    let mut rate_rmse_acc = 0f64;
+    let mut rate_nrmse_acc = 0f64;
+    let mut pred_cds = Vec::new();
+    let mut true_cds = Vec::new();
+    let mut runtime = 0f64;
+    for sample in &dataset.test {
+        let t0 = Instant::now();
+        let y_pred = model.predict(&sample.acid0);
+        runtime += t0.elapsed().as_secs_f64();
+        let inh_pred = label.decode(&stats.denormalize(&y_pred));
+        inh_rmse += rmse(&inh_pred, &sample.inhibitor) as f64;
+        inh_nrmse += nrmse(&inh_pred, &sample.inhibitor) as f64;
+        let rate_pred = flow.mack.rate_field(&inh_pred);
+        let rate_true = flow.mack.rate_field(&sample.inhibitor);
+        rate_rmse_acc += rmse(&rate_pred, &rate_true) as f64;
+        rate_nrmse_acc += nrmse(&rate_pred, &rate_true) as f64;
+        let (_, _, cds) = flow
+            .develop(&inh_pred, &sample.clip)
+            .expect("develop prediction");
+        pred_cds.extend(cds);
+        true_cds.extend(sample.cds.iter().copied());
+    }
+    let n = dataset.test.len().max(1) as f64;
+    let cd = cd_error_nm(&pred_cds, &true_cds);
+    EvalRow {
+        name: model.name().to_string(),
+        inhibitor_rmse_e3: (inh_rmse / n * 1e3) as f32,
+        inhibitor_nrmse_pct: (inh_nrmse / n * 100.0) as f32,
+        rate_rmse: (rate_rmse_acc / n) as f32,
+        rate_nrmse_pct: (rate_nrmse_acc / n * 100.0) as f32,
+        cd_x_nm: cd.x_nm,
+        cd_y_nm: cd.y_nm,
+        runtime_s: (runtime / n) as f32,
+        cd_hist: cd_histogram(&pred_cds, &true_cds),
+    }
+}
+
+/// Evaluates the trivial "no bake" baseline — predicting the label of an
+/// unreacted resist everywhere — to sanity-check that trained models beat
+/// it. Also reports the rigorous solver's own runtime for the speedup
+/// column.
+pub fn evaluate_rigorous_baseline(dataset: &Dataset, flow: &LithoFlow) -> (f32, f32) {
+    let label = LabelTransform {
+        kc: flow.peb.kc,
+        ..LabelTransform::paper()
+    };
+    let mut nr = 0f64;
+    for sample in &dataset.test {
+        let unreacted = label.decode(&Tensor::full(
+            sample.inhibitor.shape(),
+            label.encode(&Tensor::scalar(0.999)).item(),
+        ));
+        nr += nrmse(&unreacted, &sample.inhibitor) as f64;
+    }
+    let rigorous_s = dataset.mean_rigorous_peb_time().as_secs_f32();
+    (
+        (nr / dataset.test.len().max(1) as f64 * 100.0) as f32,
+        rigorous_s,
+    )
+}
+
+/// Convenience: the per-sample prediction as an inhibitor field, for a
+/// model trained with [`train-time standardisation`](peb_data::LabelStats).
+pub fn predict_inhibitor(
+    model: &dyn PebPredictor,
+    sample: &Sample,
+    kc: f32,
+    stats: &peb_data::LabelStats,
+) -> Tensor {
+    let label = LabelTransform {
+        kc,
+        ..LabelTransform::paper()
+    };
+    label.decode(&stats.denormalize(&model.predict(&sample.acid0)))
+}

@@ -1,0 +1,21 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Every `src/bin/tableN.rs` / `src/bin/figN.rs` binary builds on this
+//! crate: dataset preparation (with on-disk caching), uniform model
+//! construction and training, the full evaluation pipeline (inhibitor →
+//! development rate → resist profile → CDs), and table rendering with
+//! paper-reference columns.
+//!
+//! Scale is controlled by `PEB_SCALE` (`tiny` default / `small` / `full`)
+//! — see [`peb_data::ExperimentScale`].
+
+mod eval;
+mod models;
+mod prepare;
+mod render;
+pub mod viz;
+
+pub use eval::{evaluate_model, evaluate_rigorous_baseline, predict_inhibitor, EvalRow};
+pub use models::{build_model, train_models, ModelKind, TrainedModel};
+pub use prepare::{prepare_dataset, prepare_flow};
+pub use render::{format_row, render_table, PAPER_TABLE2, PAPER_TABLE3};

@@ -1,0 +1,227 @@
+//! Uniform construction and training of all compared models.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use peb_baselines::{DeePeb, DeePebConfig, DeepCnn, DeepCnnConfig, Fno, FnoConfig, TempoResist, TempoResistConfig};
+use peb_data::Dataset;
+use sdm_peb::{PebLoss, PebPredictor, SdmPeb, SdmPebConfig, TrainConfig, Trainer};
+
+/// Which model (or SDM-PEB ablation) to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Residual CNN baseline (ref. \[41\]).
+    DeepCnn,
+    /// Slice-wise conditional generator baseline (ref. \[5\]).
+    TempoResist,
+    /// Fourier Neural Operator baseline (ref. \[19\]).
+    Fno,
+    /// FNO + local CNN baseline (ref. \[15\]).
+    DeePeb,
+    /// The full SDM-PEB model.
+    SdmPeb,
+    /// Table III row 1: first encoder stage only.
+    SdmPebSingleStage,
+    /// Table III row 2: bidirectional depth scans only.
+    SdmPeb2dScan,
+    /// Table III row 3: trained without the focal loss.
+    SdmPebNoFocal,
+    /// Table III row 4: trained without the divergence regulariser.
+    SdmPebNoRegularization,
+}
+
+impl ModelKind {
+    /// Stable slug for cache file names.
+    pub fn slug(self) -> &'static str {
+        match self {
+            ModelKind::DeepCnn => "deepcnn",
+            ModelKind::TempoResist => "tempo",
+            ModelKind::Fno => "fno",
+            ModelKind::DeePeb => "deepeb",
+            ModelKind::SdmPeb => "sdmpeb",
+            ModelKind::SdmPebSingleStage => "sdmpeb-single",
+            ModelKind::SdmPeb2dScan => "sdmpeb-2d",
+            ModelKind::SdmPebNoFocal => "sdmpeb-nofocal",
+            ModelKind::SdmPebNoRegularization => "sdmpeb-noreg",
+        }
+    }
+
+    /// The five Table II rows, in the paper's order.
+    pub const TABLE2: [ModelKind; 5] = [
+        ModelKind::DeepCnn,
+        ModelKind::TempoResist,
+        ModelKind::Fno,
+        ModelKind::DeePeb,
+        ModelKind::SdmPeb,
+    ];
+
+    /// The five Table III rows, in the paper's order.
+    pub const TABLE3: [ModelKind; 5] = [
+        ModelKind::SdmPebSingleStage,
+        ModelKind::SdmPeb2dScan,
+        ModelKind::SdmPebNoFocal,
+        ModelKind::SdmPebNoRegularization,
+        ModelKind::SdmPeb,
+    ];
+
+    /// Row label as printed in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::DeepCnn => "DeepCNN",
+            ModelKind::TempoResist => "TEMPO-resist",
+            ModelKind::Fno => "FNO",
+            ModelKind::DeePeb => "DeePEB",
+            ModelKind::SdmPeb => "SDM-PEB",
+            ModelKind::SdmPebSingleStage => "Single Layer Encoder",
+            ModelKind::SdmPeb2dScan => "2-D Scan",
+            ModelKind::SdmPebNoFocal => "w/o. Focal Loss",
+            ModelKind::SdmPebNoRegularization => "w/o. Regularization",
+        }
+    }
+
+    /// The loss configuration this variant trains with (Eq. 22 plus the
+    /// Table III loss ablations).
+    pub fn loss(self) -> PebLoss {
+        match self {
+            ModelKind::SdmPebNoFocal => PebLoss::paper().without_focal(),
+            ModelKind::SdmPebNoRegularization => PebLoss::paper().without_divergence(),
+            _ => PebLoss::paper(),
+        }
+    }
+}
+
+/// Builds a model for `(D, H, W)` inputs with a deterministic per-kind
+/// seed.
+pub fn build_model(kind: ModelKind, dims: (usize, usize, usize)) -> Box<dyn PebPredictor> {
+    let mut rng = StdRng::seed_from_u64(0xD0C5 + kind.label().len() as u64);
+    match kind {
+        ModelKind::DeepCnn => Box::new(DeepCnn::new(DeepCnnConfig::for_grid(dims), &mut rng)),
+        ModelKind::TempoResist => Box::new(TempoResist::new(
+            TempoResistConfig::for_grid(dims),
+            &mut rng,
+        )),
+        ModelKind::Fno => Box::new(Fno::new(FnoConfig::for_grid(dims), &mut rng)),
+        ModelKind::DeePeb => Box::new(DeePeb::new(DeePebConfig::for_grid(dims), &mut rng)),
+        ModelKind::SdmPeb | ModelKind::SdmPebNoFocal | ModelKind::SdmPebNoRegularization => {
+            Box::new(SdmPeb::new(SdmPebConfig::for_grid(dims), &mut rng))
+        }
+        ModelKind::SdmPebSingleStage => Box::new(SdmPeb::new(
+            SdmPebConfig::for_grid(dims).single_stage(),
+            &mut rng,
+        )),
+        ModelKind::SdmPeb2dScan => Box::new(SdmPeb::new(
+            SdmPebConfig::for_grid(dims).scan_2d(),
+            &mut rng,
+        )),
+    }
+}
+
+/// A trained model with bookkeeping.
+pub struct TrainedModel {
+    /// Which variant this is.
+    pub kind: ModelKind,
+    /// The trained network.
+    pub model: Box<dyn PebPredictor>,
+    /// Wall-clock training time.
+    pub train_time: Duration,
+    /// Final training loss.
+    pub final_loss: f32,
+}
+
+/// Weight-cache location for a trained model.
+fn weight_cache_path(kind: ModelKind, dataset: &Dataset, epochs: usize) -> std::path::PathBuf {
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("target");
+    p.push("peb-cache");
+    p.push(format!(
+        "weights-{}-{}x{}x{}-{}ep.bin",
+        kind.slug(),
+        dataset.grid.nz,
+        dataset.grid.ny,
+        dataset.grid.nx,
+        epochs
+    ));
+    p
+}
+
+/// Attempts to restore cached weights into `model`; true on success.
+fn try_restore(model: &dyn PebPredictor, path: &std::path::Path) -> bool {
+    let Ok(tensors) = peb_data::load_tensors(path) else {
+        return false;
+    };
+    let params = model.parameters();
+    if params.len() != tensors.len() {
+        return false;
+    }
+    for (p, t) in params.iter().zip(&tensors) {
+        if p.value().shape() != t.shape() {
+            return false;
+        }
+    }
+    for (p, t) in params.iter().zip(tensors) {
+        p.set_value(t);
+    }
+    true
+}
+
+/// Trains every requested model on the same data with the same budget
+/// (the paper's "same train-test split … for a fair comparison").
+///
+/// Models are trained on standardised labels (see
+/// [`peb_data::LabelStats`]); [`crate::evaluate_model`] destandardises
+/// predictions with the same statistics before computing metrics.
+/// Trained weights are cached under `target/peb-cache/` so every
+/// table/figure binary shares one training run per configuration; delete
+/// the cache (or change `PEB_EPOCHS`) to retrain.
+pub fn train_models(kinds: &[ModelKind], dataset: &Dataset, epochs: usize) -> Vec<TrainedModel> {
+    let dims = (dataset.grid.nz, dataset.grid.ny, dataset.grid.nx);
+    let stats = peb_data::LabelStats::from_dataset(dataset);
+    let pairs: Vec<_> = peb_data::augment_with_flips(&dataset.training_pairs())
+        .into_iter()
+        .map(|(acid, label)| (acid, stats.normalize(&label)))
+        .collect();
+    kinds
+        .iter()
+        .map(|&kind| {
+            let model = build_model(kind, dims);
+            let cache = weight_cache_path(kind, dataset, epochs);
+            if try_restore(model.as_ref(), &cache) {
+                eprintln!("[harness] {}: restored cached weights", kind.label());
+                return TrainedModel {
+                    kind,
+                    model,
+                    train_time: Duration::ZERO,
+                    final_loss: f32::NAN,
+                };
+            }
+            eprintln!(
+                "[harness] training {} ({epochs} epochs on {} augmented clips)…",
+                kind.label(),
+                pairs.len()
+            );
+            let mut cfg = TrainConfig::quick(epochs);
+            cfg.loss = kind.loss();
+            let report = Trainer::new(cfg).fit(model.as_ref(), &pairs);
+            eprintln!(
+                "[harness]   {}: final loss {:.4} in {:.1?}",
+                kind.label(),
+                report.final_loss,
+                report.elapsed
+            );
+            let weights: Vec<_> = model.parameters().iter().map(|p| p.value_clone()).collect();
+            if let Err(e) = peb_data::save_tensors(&weights, &cache) {
+                eprintln!("[harness] could not cache weights: {e}");
+            }
+            TrainedModel {
+                kind,
+                model,
+                train_time: report.elapsed,
+                final_loss: report.final_loss,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,96 @@
+//! Table rendering with paper-reference columns.
+
+use crate::eval::EvalRow;
+
+/// Paper Table II values:
+/// `(name, rmse_e3, nrmse_pct, rate_rmse, rate_nrmse_pct, cd_x, cd_y, rt_s)`.
+#[allow(clippy::approx_constant, clippy::type_complexity)] // 3.14 is the paper's CD value
+pub const PAPER_TABLE2: [(&str, f32, f32, f32, f32, f32, f32, f32); 5] = [
+    ("DeepCNN", 8.25, 12.53, 0.65, 1.63, 3.14, 6.26, 1.01),
+    ("TEMPO-resist", 7.67, 12.55, 0.50, 1.26, 2.12, 2.45, 6.48),
+    ("FNO", 7.91, 11.68, 0.68, 1.69, 2.34, 3.71, 1.15),
+    ("DeePEB", 3.99, 5.70, 0.48, 1.19, 0.98, 1.24, 1.37),
+    ("SDM-PEB", 2.78, 3.70, 0.35, 0.86, 0.74, 0.93, 1.06),
+];
+
+/// Paper Table III values:
+/// `(name, inhibitor_nrmse_pct, rate_nrmse_pct, cd_x, cd_y)`.
+pub const PAPER_TABLE3: [(&str, f32, f32, f32, f32); 5] = [
+    ("Single Layer Encoder", 13.09, 1.71, 2.93, 3.49),
+    ("2-D Scan", 8.83, 1.58, 2.07, 3.05),
+    ("w/o. Focal Loss", 5.91, 1.22, 1.14, 1.37),
+    ("w/o. Regularization", 5.98, 1.24, 1.15, 1.42),
+    ("SDM-PEB", 3.70, 0.86, 0.74, 0.93),
+];
+
+/// Formats one measured row in Table II column order.
+pub fn format_row(row: &EvalRow) -> String {
+    format!(
+        "{:<22} {:>9.2} {:>9.2} {:>9.3} {:>9.2} {:>7.2} {:>7.2} {:>8.3}",
+        row.name,
+        row.inhibitor_rmse_e3,
+        row.inhibitor_nrmse_pct,
+        row.rate_rmse,
+        row.rate_nrmse_pct,
+        row.cd_x_nm,
+        row.cd_y_nm,
+        row.runtime_s,
+    )
+}
+
+/// Renders a full measured table with the shared Table II header.
+pub fn render_table(title: &str, rows: &[EvalRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8}\n",
+        "Method", "I-RMSEe3", "I-NRMSE%", "R-RMSE", "R-NRMSE%", "CDx", "CDy", "RT/s"
+    ));
+    for row in rows {
+        out.push_str(&format_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_row() -> EvalRow {
+        EvalRow {
+            name: "X".into(),
+            inhibitor_rmse_e3: 1.0,
+            inhibitor_nrmse_pct: 2.0,
+            rate_rmse: 0.3,
+            rate_nrmse_pct: 0.9,
+            cd_x_nm: 1.5,
+            cd_y_nm: 1.6,
+            runtime_s: 0.01,
+            cd_hist: ([0.0; 5], [0.0; 5]),
+        }
+    }
+
+    #[test]
+    fn paper_constants_match_the_papers_ranking() {
+        // SDM-PEB is best on every accuracy column of Table II.
+        let sdm = PAPER_TABLE2[4];
+        for row in &PAPER_TABLE2[..4] {
+            assert!(sdm.1 < row.1, "rmse");
+            assert!(sdm.2 < row.2, "nrmse");
+            assert!(sdm.5 < row.5, "cd x");
+            assert!(sdm.6 < row.6, "cd y");
+        }
+        // And the ablation ordering of Table III holds.
+        assert!(PAPER_TABLE3[0].1 > PAPER_TABLE3[1].1);
+        assert!(PAPER_TABLE3[1].1 > PAPER_TABLE3[2].1);
+        assert!(PAPER_TABLE3[4].1 < PAPER_TABLE3[3].1);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let table = render_table("T", &[dummy_row(), dummy_row()]);
+        assert_eq!(table.matches('\n').count(), 4);
+        assert!(table.contains("I-NRMSE%"));
+    }
+}

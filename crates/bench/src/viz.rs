@@ -1,0 +1,141 @@
+//! Lightweight visualisation output: ASCII heatmaps and PGM images for
+//! the figure-reproduction binaries (Figs. 4, 8, 9).
+
+use std::io;
+use std::path::Path;
+
+use peb_tensor::Tensor;
+
+/// Renders a `[H, W]` field as an ASCII heatmap (darker glyph = larger
+/// value), normalised to the field's own min/max.
+pub fn ascii_heatmap(field: &Tensor) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    assert_eq!(field.rank(), 2, "ascii_heatmap expects [H, W]");
+    let (h, w) = (field.shape()[0], field.shape()[1]);
+    let (lo, hi) = (field.min_value(), field.max_value());
+    let span = (hi - lo).max(1e-12);
+    let mut out = String::with_capacity(h * (w + 1));
+    for y in 0..h {
+        for x in 0..w {
+            let t = (field.get(&[y, x]) - lo) / span;
+            let idx = ((t * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a `[H, W]` field as an 8-bit binary PGM image, normalised to
+/// `[lo, hi]` (pass the field's own min/max for auto-scaling).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_pgm(field: &Tensor, lo: f32, hi: f32, path: &Path) -> io::Result<()> {
+    assert_eq!(field.rank(), 2, "write_pgm expects [H, W]");
+    let (h, w) = (field.shape()[0], field.shape()[1]);
+    let span = (hi - lo).max(1e-12);
+    let mut bytes = Vec::with_capacity(h * w + 32);
+    bytes.extend_from_slice(format!("P5\n{w} {h}\n255\n").as_bytes());
+    for &v in field.data() {
+        let t = ((v - lo) / span).clamp(0.0, 1.0);
+        bytes.push((t * 255.0).round() as u8);
+    }
+    std::fs::write(path, bytes)
+}
+
+/// Extracts the vertical (x–z) cross-section through row `y` of a
+/// `[D, H, W]` volume as a `[D, W]` field (paper Figs. 4 and 9 are these
+/// sections).
+pub fn vertical_section(volume: &Tensor, y: usize) -> Tensor {
+    assert_eq!(volume.rank(), 3, "vertical_section expects [D, H, W]");
+    let (d, _h, w) = (volume.shape()[0], volume.shape()[1], volume.shape()[2]);
+    Tensor::from_fn(&[d, w], |i| {
+        let (dz, x) = (i / w, i % w);
+        volume.get(&[dz, y, x])
+    })
+}
+
+/// Writes a CSV of one or more named columns of equal length.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Panics
+///
+/// Panics if column lengths differ.
+pub fn write_csv(columns: &[(&str, Vec<f32>)], path: &Path) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str(
+        &columns
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    let len = columns.first().map(|(_, v)| v.len()).unwrap_or(0);
+    for (_, v) in columns {
+        assert_eq!(v.len(), len, "csv column length mismatch");
+    }
+    for i in 0..len {
+        let row: Vec<String> = columns.iter().map(|(_, v)| format!("{}", v[i])).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_shape_and_ramp() {
+        let t = Tensor::from_vec(vec![0.0, 0.5, 1.0, 0.25], &[2, 2]).unwrap();
+        let s = ascii_heatmap(&t);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.starts_with(' ')); // min maps to the lightest glyph
+        assert!(s.contains('@')); // max maps to the darkest glyph
+    }
+
+    #[test]
+    fn pgm_roundtrip_header() {
+        let t = Tensor::from_fn(&[4, 6], |i| i as f32);
+        let dir = std::env::temp_dir().join("peb_viz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        write_pgm(&t, 0.0, 23.0, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n6 4\n255\n"));
+        assert_eq!(bytes.len(), 11 + 24);
+        assert_eq!(*bytes.last().unwrap(), 255);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn vertical_section_extracts_plane() {
+        let v = Tensor::from_fn(&[2, 3, 4], |i| i as f32);
+        let s = vertical_section(&v, 1);
+        assert_eq!(s.shape(), &[2, 4]);
+        assert_eq!(s.get(&[0, 0]), v.get(&[0, 1, 0]));
+        assert_eq!(s.get(&[1, 3]), v.get(&[1, 1, 3]));
+    }
+
+    #[test]
+    fn csv_layout() {
+        let dir = std::env::temp_dir().join("peb_viz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(
+            &[("a", vec![1.0, 2.0]), ("b", vec![3.0, 4.0])],
+            &path,
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,3\n2,4\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

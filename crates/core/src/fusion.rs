@@ -1,0 +1,149 @@
+//! Multi-scale feature fusion (paper Fig. 2 centre).
+//!
+//! Each encoder stage's `[C_i, D, H_i, W_i]` feature map is linearly
+//! projected to a common width, upsampled to the first stage's spatial
+//! resolution, concatenated along channels and mixed by an MLP.
+
+use rand::Rng;
+
+use peb_nn::{Linear, Mlp, Parameterized};
+use peb_tensor::Var;
+
+/// Fuses per-stage feature volumes into one `[fusion_dim, D, H₁, W₁]`
+/// volume.
+pub struct FeatureFusion {
+    projections: Vec<Linear>,
+    mix: Mlp,
+    fusion_dim: usize,
+}
+
+impl FeatureFusion {
+    /// Creates the fusion head for stages with the given channel counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage_channels` is empty.
+    pub fn new(stage_channels: &[usize], fusion_dim: usize, mlp_hidden: usize, rng: &mut impl Rng) -> Self {
+        assert!(!stage_channels.is_empty(), "fusion needs at least one stage");
+        let projections = stage_channels
+            .iter()
+            .map(|&c| Linear::new(c, fusion_dim, true, rng))
+            .collect::<Vec<_>>();
+        let total = fusion_dim * stage_channels.len();
+        FeatureFusion {
+            projections,
+            mix: Mlp::with_activation(total, mlp_hidden, fusion_dim, peb_nn::MlpAct::Gelu, rng),
+            fusion_dim,
+        }
+    }
+
+    /// Output channel count.
+    pub fn fusion_dim(&self) -> usize {
+        self.fusion_dim
+    }
+
+    /// Fuses stage outputs (finest resolution first). Every deeper stage
+    /// is nearest-neighbour-upsampled to the first stage's `H₁ × W₁`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs differs from the configured stages,
+    /// or a deeper stage's resolution does not divide the first stage's.
+    pub fn forward(&self, stages: &[Var]) -> Var {
+        assert_eq!(
+            stages.len(),
+            self.projections.len(),
+            "fusion input count mismatch"
+        );
+        let s0 = stages[0].shape();
+        let (d, h1, w1) = (s0[1], s0[2], s0[3]);
+        let mut volumes = Vec::with_capacity(stages.len());
+        for (stage, proj) in stages.iter().zip(&self.projections) {
+            let s = stage.shape();
+            let (c, sd, h, w) = (s[0], s[1], s[2], s[3]);
+            assert_eq!(sd, d, "depth must match across stages");
+            assert!(
+                h1 % h == 0 && w1 % w == 0 && h1 / h == w1 / w,
+                "stage resolution {h}×{w} incompatible with {h1}×{w1}"
+            );
+            // Project channels: [C, D, H, W] → [L, C] → [L, F] → volume.
+            let l = sd * h * w;
+            let seq = stage.reshape(&[c, l]).permute(&[1, 0]);
+            let projected = proj.forward(&seq); // [L, F]
+            let vol = projected
+                .permute(&[1, 0])
+                .reshape(&[self.fusion_dim, sd, h, w]);
+            let factor = h1 / h;
+            volumes.push(if factor > 1 {
+                vol.upsample2_nearest(factor)
+            } else {
+                vol
+            });
+        }
+        let refs: Vec<&Var> = volumes.iter().collect();
+        let cat = Var::concat(&refs, 0); // [F·k, D, H₁, W₁]
+        let total_c = self.fusion_dim * stages.len();
+        let l = d * h1 * w1;
+        let seq = cat.reshape(&[total_c, l]).permute(&[1, 0]);
+        let mixed = self.mix.forward(&seq); // [L, F]
+        mixed
+            .permute(&[1, 0])
+            .reshape(&[self.fusion_dim, d, h1, w1])
+    }
+}
+
+impl Parameterized for FeatureFusion {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = Vec::new();
+        for proj in &self.projections {
+            p.extend(proj.parameters());
+        }
+        p.extend(self.mix.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peb_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fuses_two_scales() {
+        let mut rng = StdRng::seed_from_u64(85);
+        let fusion = FeatureFusion::new(&[4, 8], 6, 16, &mut rng);
+        let s1 = Var::constant(Tensor::randn(&[4, 2, 8, 8], &mut rng));
+        let s2 = Var::constant(Tensor::randn(&[8, 2, 4, 4], &mut rng));
+        let out = fusion.forward(&[s1, s2]);
+        assert_eq!(out.shape(), vec![6, 2, 8, 8]);
+    }
+
+    #[test]
+    fn single_stage_passthrough_shape() {
+        let mut rng = StdRng::seed_from_u64(86);
+        let fusion = FeatureFusion::new(&[4], 6, 8, &mut rng);
+        let s1 = Var::constant(Tensor::randn(&[4, 3, 4, 4], &mut rng));
+        assert_eq!(fusion.forward(&[s1]).shape(), vec![6, 3, 4, 4]);
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(87);
+        let fusion = FeatureFusion::new(&[2, 4], 4, 8, &mut rng);
+        let s1 = Var::constant(Tensor::randn(&[2, 2, 4, 4], &mut rng));
+        let s2 = Var::constant(Tensor::randn(&[4, 2, 2, 2], &mut rng));
+        fusion.forward(&[s1, s2]).square().sum().backward();
+        assert!(fusion.parameters().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    #[should_panic(expected = "input count")]
+    fn rejects_wrong_input_count() {
+        let mut rng = StdRng::seed_from_u64(88);
+        let fusion = FeatureFusion::new(&[2, 4], 4, 8, &mut rng);
+        let s1 = Var::constant(Tensor::ones(&[2, 1, 2, 2]));
+        fusion.forward(&[s1]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Label normalisation: the quadratic negative-logarithmic transform.
+//!
+//! The inhibitor concentration varies exponentially (Eq. 1), so the paper
+//! (following DeePEB [15]) trains models to predict
+//! `Y = −ln(−ln([I]) / k_c)` rather than `[I]` itself. This module is the
+//! bijection between the two spaces.
+
+use serde::{Deserialize, Serialize};
+
+use peb_tensor::Tensor;
+
+/// Forward/inverse label transform with numeric guards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabelTransform {
+    /// Catalysis coefficient `k_c` from the PEB parameters (Table I: 0.9).
+    pub kc: f32,
+    /// Clamp applied to `[I]` before the double logarithm.
+    pub eps: f32,
+}
+
+impl LabelTransform {
+    /// Transform with the paper's `k_c = 0.9`.
+    pub fn paper() -> Self {
+        LabelTransform { kc: 0.9, eps: 1e-6 }
+    }
+
+    /// `Y = −ln(−ln(I) / k_c)` applied elementwise.
+    ///
+    /// `I` is clamped to `[eps, 1 − eps]` so fully protected/deprotected
+    /// voxels stay finite.
+    pub fn encode(&self, inhibitor: &Tensor) -> Tensor {
+        let (kc, eps) = (self.kc, self.eps);
+        inhibitor.map(|i| {
+            let i = i.clamp(eps, 1.0 - eps);
+            -((-i.ln()) / kc).ln()
+        })
+    }
+
+    /// Inverse transform `I = exp(−k_c · exp(−Y))`.
+    pub fn decode(&self, label: &Tensor) -> Tensor {
+        let kc = self.kc;
+        label.map(|y| (-kc * (-y).exp()).exp())
+    }
+}
+
+impl Default for LabelTransform {
+    fn default() -> Self {
+        LabelTransform::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_midrange() {
+        let t = LabelTransform::paper();
+        let i = Tensor::linspace(0.05, 0.95, 19);
+        let back = t.decode(&t.encode(&i));
+        assert!(back.approx_eq(&i, 1e-4), "{back}");
+    }
+
+    #[test]
+    fn encode_is_monotone_increasing_in_inhibitor() {
+        let t = LabelTransform::paper();
+        let i = Tensor::linspace(0.01, 0.99, 50);
+        let y = t.encode(&i);
+        for pair in y.data().windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+
+    #[test]
+    fn extremes_stay_finite() {
+        let t = LabelTransform::paper();
+        let i = Tensor::from_vec(vec![0.0, 1.0, -0.1, 1.3], &[4]).unwrap();
+        let y = t.encode(&i);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        let back = t.decode(&y);
+        assert!(back.data().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn decode_maps_reals_into_unit_interval() {
+        let t = LabelTransform::paper();
+        let y = Tensor::linspace(-10.0, 10.0, 41);
+        let i = t.decode(&y);
+        assert!(i.min_value() >= 0.0 && i.max_value() <= 1.0);
+        // Monotone too.
+        for pair in i.data().windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+    }
+}

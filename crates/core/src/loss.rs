@@ -1,0 +1,328 @@
+//! The customised PEB optimisation objectives (paper §III-D).
+//!
+//! `L = L_MaxSE + α·L_PEB-FL + β·L_Div` (Eq. 22) with
+//!
+//! * `L_MaxSE` — the single maximum squared error (Eq. 16, from DeePEB);
+//! * `L_PEB-FL` — the PEB focal loss `Σ |e|^γ e²` (Eq. 17), which
+//!   up-weights large errors to counter the extreme value imbalance of
+//!   the inhibitor distribution (Fig. 6);
+//! * `L_Div` — the differential depth divergence (Eqs. 18–21): a KL
+//!   divergence between softmax-normalised layer-to-layer difference maps
+//!   of prediction and ground truth, aligning inter-layer variation.
+
+use peb_tensor::{Tensor, Var};
+
+/// How the focal term aggregates over voxels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// Paper-faithful Eq. 17 (default): sum over all voxels. The sum
+    /// dwarfs the single-voxel MaxSE term, which is exactly the point —
+    /// it provides a dense gradient everywhere while MaxSE polices the
+    /// worst voxel. Adam's per-parameter scaling absorbs the magnitude.
+    Sum,
+    /// Volume-independent variant: mean over voxels. Useful when
+    /// comparing loss values across grid sizes, but it collapses the
+    /// focal term to a small correction of MaxSE and trains poorly.
+    Mean,
+}
+
+/// Combined PEB training loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PebLoss {
+    /// Focal-term weight α (paper: 1.0).
+    pub alpha: f32,
+    /// Divergence-term weight β (paper: 0.1).
+    pub beta: f32,
+    /// Focusing parameter γ (paper: 1).
+    pub gamma: f32,
+    /// Softmax temperature τ of the difference maps (paper: 0.1).
+    pub tau: f32,
+    /// Aggregation of the focal term.
+    pub reduction: Reduction,
+    /// Include `L_MaxSE` (disabled in no-MaxSE ablations).
+    pub use_max_se: bool,
+    /// Include the focal term (Table III "w/o. Focal Loss" sets false).
+    pub use_focal: bool,
+    /// Include the divergence term (Table III "w/o. Regularization").
+    pub use_divergence: bool,
+}
+
+/// The individual loss terms of one evaluation, for logging/ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossBreakdown {
+    /// `L_MaxSE` value.
+    pub max_se: f32,
+    /// `L_PEB-FL` value (after reduction, before α).
+    pub focal: f32,
+    /// `L_Div` value (before β).
+    pub divergence: f32,
+    /// The combined weighted total.
+    pub total: f32,
+}
+
+impl PebLoss {
+    /// The paper's configuration: α = 1.0, β = 0.1, γ = 1, τ = 0.1.
+    pub fn paper() -> Self {
+        PebLoss {
+            alpha: 1.0,
+            beta: 0.1,
+            gamma: 1.0,
+            tau: 0.1,
+            reduction: Reduction::Sum,
+            use_max_se: true,
+            use_focal: true,
+            use_divergence: true,
+        }
+    }
+
+    /// Table III "w/o. Focal Loss" ablation.
+    pub fn without_focal(mut self) -> Self {
+        self.use_focal = false;
+        self
+    }
+
+    /// Table III "w/o. Regularization" ablation.
+    pub fn without_divergence(mut self) -> Self {
+        self.use_divergence = false;
+        self
+    }
+
+    /// Eq. 16: maximum squared error over the volume.
+    pub fn max_se(&self, pred: &Var, target: &Tensor) -> Var {
+        pred.sub(&Var::constant(target.clone())).square().max_all()
+    }
+
+    /// Eq. 17: `Σ (or mean) |e|^γ · e²` = `|e|^(γ+2)`.
+    pub fn focal(&self, pred: &Var, target: &Tensor) -> Var {
+        let powered = pred
+            .sub(&Var::constant(target.clone()))
+            .abs_powf(self.gamma + 2.0);
+        match self.reduction {
+            Reduction::Sum => powered.sum(),
+            Reduction::Mean => powered.mean(),
+        }
+    }
+
+    /// Eqs. 18–21: KL divergence between softmax-normalised forward depth
+    /// difference maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `pred` and `target` are `[D, H, W]` with `D ≥ 2`.
+    pub fn depth_divergence(&self, pred: &Var, target: &Tensor) -> Var {
+        let shape = pred.shape();
+        assert_eq!(shape.len(), 3, "depth divergence expects [D, H, W]");
+        assert!(shape[0] >= 2, "need at least two depth layers");
+        assert_eq!(shape.as_slice(), target.shape(), "pred/target shape mismatch");
+        let (d, h, w) = (shape[0], shape[1], shape[2]);
+        // ΔŶ_d = Ŷ_{d+1} − Ŷ_d, flattened to [D−1, H·W].
+        let upper = pred.slice_axis(0, 1, d);
+        let lower = pred.slice_axis(0, 0, d - 1);
+        let diff_pred = upper.sub(&lower).reshape(&[d - 1, h * w]);
+        let p = diff_pred.mul_scalar(1.0 / self.tau).softmax(1);
+        // Ground-truth difference map probabilities (constant).
+        let q = {
+            let tv = target;
+            let mut q = Tensor::zeros(&[d - 1, h * w]);
+            for dz in 0..d - 1 {
+                // softmax over the plane with temperature τ.
+                let mut mx = f32::NEG_INFINITY;
+                let mut vals = vec![0f32; h * w];
+                for (i, v) in vals.iter_mut().enumerate() {
+                    let (y, x) = (i / w, i % w);
+                    *v = (tv.get(&[dz + 1, y, x]) - tv.get(&[dz, y, x])) / self.tau;
+                    mx = mx.max(*v);
+                }
+                let mut z = 0f64;
+                for v in &mut vals {
+                    *v = (*v - mx).exp();
+                    z += *v as f64;
+                }
+                let zi = 1.0 / z as f32;
+                for (i, v) in vals.iter().enumerate() {
+                    q.set(&[dz, i], v * zi);
+                }
+            }
+            q
+        };
+        // KL(p ‖ q) = Σ p (ln p − ln q).
+        let ln_q = Var::constant(q.map(|v| (v + 1e-12).ln()));
+        p.mul(&p.ln_eps(1e-12).sub(&ln_q)).sum()
+    }
+
+    /// Eq. 22: the full combined loss as a differentiable node.
+    pub fn combined(&self, pred: &Var, target: &Tensor) -> Var {
+        let mut total: Option<Var> = None;
+        let mut add = |term: Var| {
+            total = Some(match total.take() {
+                Some(t) => t.add(&term),
+                None => term,
+            });
+        };
+        if self.use_max_se {
+            add(self.max_se(pred, target));
+        }
+        if self.use_focal {
+            add(self.focal(pred, target).mul_scalar(self.alpha));
+        }
+        if self.use_divergence {
+            add(self.depth_divergence(pred, target).mul_scalar(self.beta));
+        }
+        total.expect("at least one loss term enabled")
+    }
+
+    /// Evaluates every term for logging (no gradients retained).
+    pub fn breakdown(&self, pred: &Tensor, target: &Tensor) -> LossBreakdown {
+        let p = Var::constant(pred.clone());
+        let max_se = self.max_se(&p, target).value().item();
+        let focal = self.focal(&p, target).value().item();
+        let divergence = if pred.shape()[0] >= 2 {
+            self.depth_divergence(&p, target).value().item()
+        } else {
+            0.0
+        };
+        LossBreakdown {
+            max_se,
+            focal,
+            divergence,
+            total: if self.use_max_se { max_se } else { 0.0 }
+                + if self.use_focal { self.alpha * focal } else { 0.0 }
+                + if self.use_divergence {
+                    self.beta * divergence
+                } else {
+                    0.0
+                },
+        }
+    }
+}
+
+impl Default for PebLoss {
+    fn default() -> Self {
+        PebLoss::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fields(seed: u64) -> (Tensor, Tensor) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = Tensor::randn(&[3, 4, 4], &mut rng);
+        let pred = &target + &Tensor::randn(&[3, 4, 4], &mut rng).mul_scalar(0.2);
+        (pred, target)
+    }
+
+    #[test]
+    fn perfect_prediction_gives_zero_loss() {
+        let (_, target) = fields(70);
+        let loss = PebLoss::paper();
+        let b = loss.breakdown(&target, &target);
+        assert!(b.max_se.abs() < 1e-6);
+        assert!(b.focal.abs() < 1e-6);
+        assert!(b.divergence.abs() < 1e-4, "KL(p‖p) = 0, got {}", b.divergence);
+        assert!(b.total.abs() < 1e-4);
+    }
+
+    #[test]
+    fn max_se_picks_worst_voxel() {
+        let target = Tensor::zeros(&[2, 2, 2]);
+        let mut pred = Tensor::zeros(&[2, 2, 2]);
+        pred.set(&[1, 0, 1], 0.5);
+        pred.set(&[0, 1, 1], -0.2);
+        let loss = PebLoss::paper();
+        let v = loss
+            .max_se(&Var::constant(pred), &target)
+            .value()
+            .item();
+        assert!((v - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn focal_upweights_large_errors_relative_to_mse() {
+        // Two error patterns with the same MSE: concentrated vs spread.
+        let target = Tensor::zeros(&[1, 1, 4]);
+        let concentrated = Tensor::from_vec(vec![2.0, 0.0, 0.0, 0.0], &[1, 1, 4]).unwrap();
+        let spread = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 1, 4]).unwrap();
+        let loss = PebLoss::paper();
+        let fc = loss
+            .focal(&Var::constant(concentrated), &target)
+            .value()
+            .item();
+        let fs = loss.focal(&Var::constant(spread), &target).value().item();
+        // Same MSE (=1) but |2|³/4 = 2 > 1 = |1|³: focal prefers spread.
+        assert!(fc > fs, "concentrated {fc} vs spread {fs}");
+    }
+
+    #[test]
+    fn divergence_is_nonnegative_and_zero_iff_matching_diffs() {
+        let (pred, target) = fields(71);
+        let loss = PebLoss::paper();
+        let v = loss
+            .depth_divergence(&Var::constant(pred), &target)
+            .value()
+            .item();
+        assert!(v > 0.0);
+        // Adding a per-layer constant leaves difference softmax unchanged
+        // only if constant across the plane — shifting every voxel of
+        // every layer by the same amount keeps Δ maps identical.
+        let shifted = target.add_scalar(0.7);
+        let v2 = loss
+            .depth_divergence(&Var::constant(shifted), &target)
+            .value()
+            .item();
+        assert!(v2.abs() < 1e-4, "uniform shift should not change Δ maps: {v2}");
+    }
+
+    #[test]
+    fn combined_respects_ablation_flags() {
+        let (pred, target) = fields(72);
+        let full = PebLoss::paper();
+        let no_focal = PebLoss::paper().without_focal();
+        let no_div = PebLoss::paper().without_divergence();
+        let b = full.breakdown(&pred, &target);
+        let bf = no_focal.breakdown(&pred, &target);
+        let bd = no_div.breakdown(&pred, &target);
+        assert!((b.total - (b.max_se + b.focal + 0.1 * b.divergence)).abs() < 1e-5);
+        assert!((bf.total - (b.max_se + 0.1 * b.divergence)).abs() < 1e-5);
+        assert!((bd.total - (b.max_se + b.focal)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn combined_is_differentiable() {
+        let (pred, target) = fields(73);
+        let p = Var::parameter(pred);
+        PebLoss::paper().combined(&p, &target).backward();
+        let g = p.grad().unwrap();
+        assert!(g.data().iter().any(|v| *v != 0.0));
+        assert!(g.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn combined_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let target = Tensor::randn(&[2, 3, 3], &mut rng);
+        let pred0 = &target + &Tensor::randn(&[2, 3, 3], &mut rng).mul_scalar(0.3);
+        let loss = PebLoss::paper();
+        let r = peb_tensor::check_gradients(
+            &Var::parameter(pred0),
+            |v| loss.combined(v, &target),
+            1e-3,
+        );
+        assert!(r.ok(5e-2), "{r:?}");
+    }
+
+    #[test]
+    fn sum_reduction_scales_with_volume() {
+        let target = Tensor::zeros(&[1, 2, 2]);
+        let pred = Tensor::ones(&[1, 2, 2]);
+        let mut loss = PebLoss::paper();
+        loss.reduction = Reduction::Sum;
+        let s = loss.focal(&Var::constant(pred.clone()), &target).value().item();
+        loss.reduction = Reduction::Mean;
+        let m = loss.focal(&Var::constant(pred), &target).value().item();
+        assert!((s - 4.0 * m).abs() < 1e-5);
+    }
+}

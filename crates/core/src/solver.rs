@@ -1,0 +1,61 @@
+//! The common interface every learned PEB solver implements.
+
+use peb_nn::Parameterized;
+use peb_tensor::{Tensor, Var};
+
+/// A trainable model mapping photoacid volumes to label-space inhibitor
+/// predictions (`Y = −ln(−ln([I]) / k_c)`).
+///
+/// Both SDM-PEB and all Table II baselines implement this trait, which is
+/// what the shared [`crate::Trainer`] and the benchmark harness consume.
+pub trait PebPredictor: Parameterized {
+    /// Human-readable model name (as printed in Table II).
+    fn name(&self) -> &'static str;
+
+    /// Differentiable forward pass for training.
+    fn forward_train(&self, acid: &Tensor) -> Var;
+
+    /// Inference: returns the label-space prediction tensor.
+    fn predict(&self, acid: &Tensor) -> Tensor {
+        self.forward_train(acid).value_clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(Var);
+
+    impl Parameterized for Constant {
+        fn parameters(&self) -> Vec<Var> {
+            vec![self.0.clone()]
+        }
+    }
+
+    impl PebPredictor for Constant {
+        fn name(&self) -> &'static str {
+            "constant"
+        }
+        fn forward_train(&self, acid: &Tensor) -> Var {
+            // Broadcast one scalar parameter over the volume.
+            Var::constant(Tensor::zeros(acid.shape())).add(&self.0)
+        }
+    }
+
+    #[test]
+    fn default_predict_uses_forward() {
+        let m = Constant(Var::parameter(Tensor::scalar(2.5)));
+        let y = m.predict(&Tensor::zeros(&[2, 2, 2]));
+        assert_eq!(y.shape(), &[2, 2, 2]);
+        assert_eq!(y.data()[0], 2.5);
+        assert_eq!(m.name(), "constant");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn PebPredictor> =
+            Box::new(Constant(Var::parameter(Tensor::scalar(0.0))));
+        assert_eq!(boxed.parameters().len(), 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! Shared training loop with gradient accumulation and step decay.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use peb_nn::{Adam, Optimizer, StepDecay};
+use peb_tensor::Tensor;
+
+use crate::loss::PebLoss;
+use crate::solver::PebPredictor;
+
+/// Training hyper-parameters.
+///
+/// The paper trains 500 epochs with SGD-style step decay (0.03, step 100,
+/// γ 0.7) and an effective batch of 8 via gradient accumulation. This
+/// reproduction defaults to Adam (more robust at CPU-scale budgets) but
+/// keeps the same decay *shape*: the schedule is applied as a multiplier
+/// on the base learning rate.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Gradient-accumulation window (paper: 8 clips per update).
+    pub accumulate: usize,
+    /// Base Adam learning rate.
+    pub base_lr: f32,
+    /// Decay schedule applied multiplicatively to `base_lr`.
+    pub schedule: StepDecay,
+    /// Loss configuration (Eq. 22 terms and ablations).
+    pub loss: PebLoss,
+    /// Global-norm gradient clipping threshold (None disables). The
+    /// summed focal loss produces occasional large-magnitude spikes at
+    /// hard voxels; clipping keeps Adam's trajectory stable.
+    pub clip_norm: Option<f32>,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// CPU-scale defaults mirroring the paper's schedule shape.
+    pub fn quick(epochs: usize) -> Self {
+        // Scale the paper's step-100 decay to the configured epoch count
+        // so the LR decays the same number of times (5 over a full run).
+        let step = (epochs / 5).max(1);
+        TrainConfig {
+            epochs,
+            accumulate: 8,
+            base_lr: 5e-3,
+            schedule: StepDecay {
+                base_lr: 1.0,
+                step_size: step,
+                gamma: 0.7,
+            },
+            loss: PebLoss::paper(),
+            clip_norm: Some(10.0),
+            seed: 20250705,
+        }
+    }
+}
+
+/// Summary of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean combined loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Final epoch's mean loss.
+    pub final_loss: f32,
+    /// Wall-clock training time.
+    pub elapsed: Duration,
+}
+
+/// Trains any [`PebPredictor`] on `(acid, label)` pairs.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    /// Configuration in use.
+    pub config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// Runs the full training loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(&self, model: &dyn PebPredictor, data: &[(Tensor, Tensor)]) -> TrainReport {
+        assert!(!data.is_empty(), "training set is empty");
+        let start = Instant::now();
+        let params = model.parameters();
+        let mut opt = Adam::new(self.config.base_lr);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        for epoch in 0..self.config.epochs {
+            opt.set_lr(self.config.base_lr * self.config.schedule.lr_at(epoch));
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0f64;
+            let mut pending = 0usize;
+            for &i in &order {
+                let (acid, label) = &data[i];
+                let pred = model.forward_train(acid);
+                let loss = self.config.loss.combined(&pred, label);
+                let loss_value = loss.value().item();
+                if !loss_value.is_finite() {
+                    // A diverged micro-batch must not poison the weights:
+                    // drop its gradient contribution and move on.
+                    model.parameters().iter().for_each(|p| p.zero_grad());
+                    pending = 0;
+                    continue;
+                }
+                epoch_loss += loss_value as f64;
+                loss.backward();
+                pending += 1;
+                if pending == self.config.accumulate {
+                    self.clip_gradients(&params);
+                    opt.step(&params);
+                    opt.zero_grad(&params);
+                    pending = 0;
+                }
+            }
+            if pending > 0 {
+                self.clip_gradients(&params);
+                opt.step(&params);
+                opt.zero_grad(&params);
+            }
+            epoch_losses.push((epoch_loss / data.len() as f64) as f32);
+        }
+        TrainReport {
+            final_loss: *epoch_losses.last().expect("at least one epoch"),
+            epoch_losses,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Scales all gradients down when their global L2 norm exceeds the
+    /// configured threshold.
+    fn clip_gradients(&self, params: &[peb_tensor::Var]) {
+        let Some(max_norm) = self.config.clip_norm else {
+            return;
+        };
+        let mut total = 0f64;
+        for p in params {
+            if let Some(g) = p.grad() {
+                total += g.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            }
+        }
+        let norm = total.sqrt() as f32;
+        if norm > max_norm {
+            let scale = max_norm / norm;
+            for p in params {
+                if let Some(g) = p.grad() {
+                    p.zero_grad();
+                    // Re-accumulate the scaled gradient.
+                    let scaled = g.mul_scalar(scale);
+                    // Var has no direct set_grad; emulate via backward of a
+                    // weighted identity: cheaper to just re-store through
+                    // the accumulate path.
+                    p.accumulate_grad(scaled);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SdmPeb, SdmPebConfig};
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn training_decreases_loss_on_toy_problem() {
+        let mut rng = StdRng::seed_from_u64(110);
+        let model = SdmPeb::new(SdmPebConfig::tiny((2, 16, 16)), &mut rng);
+        // Learnable task: label is a smooth function of the acid.
+        let data: Vec<(Tensor, Tensor)> = (0..4)
+            .map(|s| {
+                let mut r = StdRng::seed_from_u64(s);
+                let acid = Tensor::rand_uniform(&[2, 16, 16], 0.0, 0.9, &mut r);
+                let label = acid.map(|a| 2.0 * a - 0.5);
+                (acid, label)
+            })
+            .collect();
+        let mut cfg = TrainConfig::quick(6);
+        cfg.accumulate = 2;
+        let report = Trainer::new(cfg).fit(&model, &data);
+        assert_eq!(report.epoch_losses.len(), 6);
+        assert!(
+            report.final_loss < report.epoch_losses[0] * 0.9,
+            "{:?}",
+            report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn quick_config_schedule_decays_five_times() {
+        let cfg = TrainConfig::quick(50);
+        assert_eq!(cfg.schedule.step_size, 10);
+        let last = cfg.schedule.lr_at(49);
+        assert!((last - 0.7f32.powi(4)).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_dataset() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let model = SdmPeb::new(SdmPebConfig::tiny((2, 16, 16)), &mut rng);
+        Trainer::new(TrainConfig::quick(1)).fit(&model, &[]);
+    }
+}
+
+#[cfg(test)]
+mod failure_injection_tests {
+    use super::*;
+    use crate::model::{SdmPeb, SdmPebConfig};
+    use peb_nn::Parameterized;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nan_labels_do_not_poison_the_weights() {
+        let mut rng = StdRng::seed_from_u64(300);
+        let model = SdmPeb::new(SdmPebConfig::tiny((2, 16, 16)), &mut rng);
+        let good_acid = Tensor::rand_uniform(&[2, 16, 16], 0.0, 0.9, &mut rng);
+        let good_label = good_acid.map(|a| a - 0.5);
+        let poisoned_label = Tensor::full(&[2, 16, 16], f32::NAN);
+        let data = vec![
+            (good_acid.clone(), good_label),
+            (good_acid.clone(), poisoned_label),
+        ];
+        let mut cfg = TrainConfig::quick(3);
+        cfg.accumulate = 1;
+        Trainer::new(cfg).fit(&model, &data);
+        // Every weight must still be finite and the model usable.
+        for p in model.parameters() {
+            assert!(
+                p.value().data().iter().all(|v| v.is_finite()),
+                "weights contaminated by the poisoned sample"
+            );
+        }
+        let pred = model.predict(&good_acid);
+        assert!(pred.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn clipping_bounds_the_gradient_norm() {
+        let mut rng = StdRng::seed_from_u64(301);
+        let model = SdmPeb::new(SdmPebConfig::tiny((2, 16, 16)), &mut rng);
+        let acid = Tensor::rand_uniform(&[2, 16, 16], 0.0, 0.9, &mut rng);
+        // Huge labels force a huge focal-loss gradient.
+        let label = Tensor::full(&[2, 16, 16], 100.0);
+        let trainer = Trainer::new(TrainConfig::quick(1));
+        let params = model.parameters();
+        crate::loss::PebLoss::paper()
+            .combined(&model.forward_train(&acid), &label)
+            .backward();
+        trainer.clip_gradients(&params);
+        let mut total = 0f64;
+        for p in &params {
+            if let Some(g) = p.grad() {
+                total += g.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            }
+        }
+        let norm = total.sqrt() as f32;
+        let max = trainer.config.clip_norm.unwrap();
+        assert!(norm <= max * 1.01, "norm {norm} exceeds clip {max}");
+    }
+}

@@ -1,0 +1,348 @@
+//! Versioned binary cache for generated datasets.
+//!
+//! The rigorous solves are the expensive part of every experiment, so
+//! datasets are written to disk after first generation. The format is a
+//! minimal little-endian binary codec (no external serialisation backend
+//! is in the allowed dependency set).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::time::Duration;
+
+use peb_litho::{ClipStyle, Contact, ContactCd, Grid, MaskClip};
+use peb_tensor::Tensor;
+
+use crate::dataset::{Dataset, Sample};
+
+const MAGIC: &[u8; 8] = b"PEBDATA2";
+
+/// Saves a dataset to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_dataset(ds: &Dataset, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_grid(&mut w, &ds.grid)?;
+    write_u64(&mut w, ds.train.len() as u64)?;
+    for s in &ds.train {
+        write_sample(&mut w, s)?;
+    }
+    write_u64(&mut w, ds.test.len() as u64)?;
+    for s in &ds.test {
+        write_sample(&mut w, s)?;
+    }
+    w.flush()
+}
+
+/// Loads a dataset from `path`.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] with kind `InvalidData` for version or format
+/// mismatches, or any underlying I/O error.
+pub fn load_dataset(path: &Path) -> io::Result<Dataset> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a PEB dataset cache (or wrong version)",
+        ));
+    }
+    let grid = read_grid(&mut r)?;
+    let n_train = read_u64(&mut r)? as usize;
+    let mut train = Vec::with_capacity(n_train);
+    for _ in 0..n_train {
+        train.push(read_sample(&mut r)?);
+    }
+    let n_test = read_u64(&mut r)? as usize;
+    let mut test = Vec::with_capacity(n_test);
+    for _ in 0..n_test {
+        test.push(read_sample(&mut r)?);
+    }
+    Ok(Dataset { grid, train, test })
+}
+
+// --- primitive codecs -----------------------------------------------------
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn write_tensor(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
+    write_u64(w, t.rank() as u64)?;
+    for &d in t.shape() {
+        write_u64(w, d as u64)?;
+    }
+    for &v in t.data() {
+        write_f32(w, v)?;
+    }
+    Ok(())
+}
+
+fn read_tensor(r: &mut impl Read) -> io::Result<Tensor> {
+    let rank = read_u64(r)? as usize;
+    if rank > 8 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "rank too large"));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(read_u64(r)? as usize);
+    }
+    let n: usize = shape.iter().product();
+    if n > (1 << 30) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "tensor too large"));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(read_f32(r)?);
+    }
+    Tensor::from_vec(data, &shape)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn write_grid(w: &mut impl Write, g: &Grid) -> io::Result<()> {
+    write_u64(w, g.nx as u64)?;
+    write_u64(w, g.ny as u64)?;
+    write_u64(w, g.nz as u64)?;
+    write_f32(w, g.dx)?;
+    write_f32(w, g.dy)?;
+    write_f32(w, g.dz)
+}
+
+fn read_grid(r: &mut impl Read) -> io::Result<Grid> {
+    let (nx, ny, nz) = (
+        read_u64(r)? as usize,
+        read_u64(r)? as usize,
+        read_u64(r)? as usize,
+    );
+    let (dx, dy, dz) = (read_f32(r)?, read_f32(r)?, read_f32(r)?);
+    Grid::new(nx, ny, nz, dx, dy, dz)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn style_code(s: ClipStyle) -> u64 {
+    match s {
+        ClipStyle::RegularArray => 0,
+        ClipStyle::Staggered => 1,
+        ClipStyle::Random => 2,
+        ClipStyle::Mixed => 3,
+    }
+}
+
+fn style_from(code: u64) -> io::Result<ClipStyle> {
+    Ok(match code {
+        0 => ClipStyle::RegularArray,
+        1 => ClipStyle::Staggered,
+        2 => ClipStyle::Random,
+        3 => ClipStyle::Mixed,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unknown clip style",
+            ))
+        }
+    })
+}
+
+fn write_sample(w: &mut impl Write, s: &Sample) -> io::Result<()> {
+    // Clip.
+    write_tensor(w, &s.clip.pattern)?;
+    write_u64(w, s.clip.contacts.len() as u64)?;
+    for c in &s.clip.contacts {
+        for v in [c.cy, c.cx, c.w, c.h] {
+            write_f32(w, v)?;
+        }
+    }
+    write_u64(w, style_code(s.clip.style))?;
+    write_u64(w, s.clip.seed)?;
+    // Fields.
+    write_tensor(w, &s.acid0)?;
+    write_tensor(w, &s.inhibitor)?;
+    write_tensor(w, &s.label)?;
+    // CDs.
+    write_u64(w, s.cds.len() as u64)?;
+    for cd in &s.cds {
+        write_f32(w, cd.cd_x_nm)?;
+        write_f32(w, cd.cd_y_nm)?;
+        write_u64(w, cd.open as u64)?;
+        write_u64(w, cd.centre.0 as u64)?;
+        write_u64(w, cd.centre.1 as u64)?;
+    }
+    write_u64(w, s.rigorous_peb_time.as_micros() as u64)
+}
+
+fn read_sample(r: &mut impl Read) -> io::Result<Sample> {
+    let pattern = read_tensor(r)?;
+    let n_contacts = read_u64(r)? as usize;
+    let mut contacts = Vec::with_capacity(n_contacts);
+    for _ in 0..n_contacts {
+        contacts.push(Contact {
+            cy: read_f32(r)?,
+            cx: read_f32(r)?,
+            w: read_f32(r)?,
+            h: read_f32(r)?,
+        });
+    }
+    let style = style_from(read_u64(r)?)?;
+    let seed = read_u64(r)?;
+    let acid0 = read_tensor(r)?;
+    let inhibitor = read_tensor(r)?;
+    let label = read_tensor(r)?;
+    let n_cds = read_u64(r)? as usize;
+    let mut cds = Vec::with_capacity(n_cds);
+    for _ in 0..n_cds {
+        cds.push(ContactCd {
+            cd_x_nm: read_f32(r)?,
+            cd_y_nm: read_f32(r)?,
+            open: read_u64(r)? != 0,
+            centre: (read_u64(r)? as usize, read_u64(r)? as usize),
+        });
+    }
+    let micros = read_u64(r)?;
+    Ok(Sample {
+        clip: MaskClip {
+            pattern,
+            contacts,
+            style,
+            seed,
+        },
+        acid0,
+        inhibitor,
+        label,
+        cds,
+        rigorous_peb_time: Duration::from_micros(micros),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let mut grid = Grid::small();
+        grid.nz = 3;
+        let mut cfg = DatasetConfig::for_grid(grid, 1, 1);
+        cfg.seed = 5;
+        let ds = Dataset::generate(&cfg).unwrap();
+        let dir = std::env::temp_dir().join("peb_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.bin");
+        save_dataset(&ds, &path).unwrap();
+        let loaded = load_dataset(&path).unwrap();
+        assert_eq!(loaded.grid, ds.grid);
+        assert_eq!(loaded.train.len(), 1);
+        assert_eq!(loaded.train[0].acid0, ds.train[0].acid0);
+        assert_eq!(loaded.train[0].label, ds.train[0].label);
+        assert_eq!(loaded.train[0].clip, ds.train[0].clip);
+        assert_eq!(loaded.test[0].cds, ds.test[0].cds);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let dir = std::env::temp_dir().join("peb_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_magic.bin");
+        std::fs::write(&path, b"NOTDATA!extra").unwrap();
+        let err = load_dataset(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let dir = std::env::temp_dir().join("peb_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.bin");
+        std::fs::write(&path, MAGIC).unwrap();
+        assert!(load_dataset(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Saves a flat list of tensors (e.g. model parameters in
+/// `Parameterized::parameters()` order) to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_tensors(tensors: &[Tensor], path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(b"PEBTENS1")?;
+    write_u64(&mut w, tensors.len() as u64)?;
+    for t in tensors {
+        write_tensor(&mut w, t)?;
+    }
+    w.flush()
+}
+
+/// Loads a flat list of tensors written by [`save_tensors`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for format mismatches or any underlying I/O
+/// error.
+pub fn load_tensors(path: &Path) -> io::Result<Vec<Tensor>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != b"PEBTENS1" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a PEB tensor bundle",
+        ));
+    }
+    let n = read_u64(&mut r)? as usize;
+    if n > 1 << 20 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "too many tensors"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(read_tensor(&mut r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tensor_bundle_tests {
+    use super::*;
+
+    #[test]
+    fn tensor_bundle_roundtrip() {
+        let dir = std::env::temp_dir().join("peb_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.bin");
+        let tensors = vec![
+            Tensor::from_fn(&[2, 3], |i| i as f32),
+            Tensor::scalar(7.5),
+            Tensor::zeros(&[4]),
+        ];
+        save_tensors(&tensors, &path).unwrap();
+        let loaded = load_tensors(&path).unwrap();
+        assert_eq!(loaded, tensors);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,21 @@
+//! Dataset plumbing for the SDM-PEB reproduction.
+//!
+//! Generates `(photoacid, inhibitor)` training pairs by running the
+//! rigorous `peb-litho` flow over generated mask clips, exactly as the
+//! paper generates its data with S-Litho over 100 proprietary clips.
+//! Datasets are cacheable to disk in a simple versioned binary format so
+//! the expensive rigorous solves run once per configuration.
+//!
+//! The [`ExperimentScale`] type centralises the `PEB_SCALE` environment
+//! switch used by every benchmark binary: `tiny` (default), `small` or
+//! `full`.
+
+mod dataset;
+mod io;
+mod scale;
+mod stats;
+
+pub use dataset::{augment_with_flips, Dataset, DatasetConfig, LabelStats, Sample};
+pub use io::{load_dataset, load_tensors, save_dataset, save_tensors};
+pub use scale::ExperimentScale;
+pub use stats::{value_histogram, HISTOGRAM_BIN_LABELS};

@@ -1,0 +1,78 @@
+//! Value-distribution statistics (paper Fig. 6).
+
+use peb_tensor::Tensor;
+
+/// Bin labels of the Fig. 6 histograms.
+pub const HISTOGRAM_BIN_LABELS: [&str; 10] = [
+    "[0.0, 0.1)",
+    "[0.1, 0.2)",
+    "[0.2, 0.3)",
+    "[0.3, 0.4)",
+    "[0.4, 0.5)",
+    "[0.5, 0.6)",
+    "[0.6, 0.7)",
+    "[0.7, 0.8)",
+    "[0.8, 0.9)",
+    "[0.9, 1.0)",
+];
+
+/// Normalised 10-bin histogram of values over `[0, 1)` (values outside
+/// are clamped to the boundary bins), as relative frequencies summing to
+/// 1 across all supplied tensors.
+pub fn value_histogram<'a>(fields: impl IntoIterator<Item = &'a Tensor>) -> [f64; 10] {
+    let mut counts = [0u64; 10];
+    let mut total = 0u64;
+    for f in fields {
+        for &v in f.data() {
+            let bin = ((v * 10.0).floor() as i64).clamp(0, 9) as usize;
+            counts[bin] += 1;
+            total += 1;
+        }
+    }
+    let mut out = [0f64; 10];
+    if total > 0 {
+        for (o, c) in out.iter_mut().zip(counts) {
+            *o = c as f64 / total as f64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_values_spread_evenly() {
+        let t = Tensor::from_fn(&[1000], |i| (i as f32 + 0.5) / 1000.0);
+        let h = value_histogram([&t]);
+        for b in h {
+            assert!((b - 0.1).abs() < 0.01, "{h:?}");
+        }
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concentrated_values_hit_one_bin() {
+        let t = Tensor::full(&[50], 0.95);
+        let h = value_histogram([&t]);
+        assert_eq!(h[9], 1.0);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let t = Tensor::from_vec(vec![-0.5, 1.5], &[2]).unwrap();
+        let h = value_histogram([&t]);
+        assert_eq!(h[0], 0.5);
+        assert_eq!(h[9], 0.5);
+    }
+
+    #[test]
+    fn multiple_fields_pool() {
+        let a = Tensor::full(&[10], 0.05);
+        let b = Tensor::full(&[30], 0.55);
+        let h = value_histogram([&a, &b]);
+        assert!((h[0] - 0.25).abs() < 1e-9);
+        assert!((h[5] - 0.75).abs() < 1e-9);
+    }
+}

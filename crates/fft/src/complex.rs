@@ -1,0 +1,165 @@
+//! Minimal complex arithmetic (the allowed dependency set has no complex
+//! number crate).
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f32` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from Cartesian parts.
+    pub fn new(re: f32, im: f32) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    pub fn cis(theta: f32) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f32) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f32> for Complex {
+    fn from(re: f32) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+impl std::fmt::Display for Complex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        let q = (a * b) / b;
+        assert!((q.re - a.re).abs() < 1e-6 && (q.im - a.im).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let c = Complex::cis(std::f32::consts::FRAC_PI_2);
+        assert!(c.re.abs() < 1e-6);
+        assert!((c.im - 1.0).abs() < 1e-6);
+        assert!((Complex::cis(1.234).abs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!((a * a.conj()).re, 25.0);
+        assert!((a * a.conj()).im.abs() < 1e-6);
+    }
+}

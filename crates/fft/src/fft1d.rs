@@ -1,0 +1,179 @@
+//! Iterative radix-2 decimation-in-time FFT.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Complex;
+
+/// Errors from FFT entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FftError {
+    /// Input length is not a power of two (or is zero).
+    NotPowerOfTwo {
+        /// Offending length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for FftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo { len } => {
+                write!(f, "fft length {len} is not a nonzero power of two")
+            }
+        }
+    }
+}
+
+impl Error for FftError {}
+
+/// In-place radix-2 FFT. `inverse` selects the sign convention; inverse
+/// transforms are scaled by `1/N` so `ifft(fft(x)) == x`.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] for invalid lengths.
+pub fn fft1d_inplace(data: &mut [Complex], inverse: bool) -> Result<(), FftError> {
+    let n = data.len();
+    if n == 0 || n & (n - 1) != 0 {
+        return Err(FftError::NotPowerOfTwo { len: n });
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * std::f32::consts::TAU / len as f32;
+        let wlen = Complex::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let s = 1.0 / n as f32;
+        for x in data.iter_mut() {
+            *x = x.scale(s);
+        }
+    }
+    Ok(())
+}
+
+/// Forward FFT of a slice, allocating the output.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] for invalid lengths.
+pub fn fft1d(data: &[Complex]) -> Result<Vec<Complex>, FftError> {
+    let mut out = data.to_vec();
+    fft1d_inplace(&mut out, false)?;
+    Ok(out)
+}
+
+/// Inverse FFT of a slice (scaled by `1/N`), allocating the output.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] for invalid lengths.
+pub fn ifft1d(data: &[Complex]) -> Result<Vec<Complex>, FftError> {
+    let mut out = data.to_vec();
+    fft1d_inplace(&mut out, true)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(N²) reference DFT.
+    fn dft(data: &[Complex]) -> Vec<Complex> {
+        let n = data.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (t, &x) in data.iter().enumerate() {
+                    acc += x * Complex::cis(-std::f32::consts::TAU * (k * t) as f32 / n as f32);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for &n in &[1usize, 2, 4, 8, 32, 64] {
+            let data: Vec<Complex> = (0..n)
+                .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let fast = fft1d(&data).unwrap();
+            let slow = dft(&data);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a.re - b.re).abs() < 1e-3 && (a.im - b.im).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<Complex> = (0..16).map(|i| Complex::new(i as f32, -(i as f32))).collect();
+        let back = ifft1d(&fft1d(&data).unwrap()).unwrap();
+        for (a, b) in back.iter().zip(&data) {
+            assert!((a.re - b.re).abs() < 1e-4 && (a.im - b.im).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        let data: Vec<Complex> = (0..64)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0))
+            .collect();
+        let spec = fft1d(&data).unwrap();
+        let time_e: f32 = data.iter().map(|c| c.norm_sqr()).sum();
+        let freq_e: f32 = spec.iter().map(|c| c.norm_sqr()).sum::<f32>() / 64.0;
+        assert!((time_e - freq_e).abs() < 1e-2);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        let spec = fft1d(&data).unwrap();
+        for c in spec {
+            assert!((c.re - 1.0).abs() < 1e-5 && c.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert_eq!(
+            fft1d(&[Complex::ZERO; 6]).unwrap_err(),
+            FftError::NotPowerOfTwo { len: 6 }
+        );
+        assert!(fft1d(&[]).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Fast Fourier transforms for the SDM-PEB reproduction.
+//!
+//! Provides an iterative radix-2 complex FFT in one, two and three
+//! dimensions plus convolution helpers. Two subsystems consume it:
+//!
+//! * `peb-litho` — computes aerial images by (circular) convolution of the
+//!   mask with optical kernels;
+//! * `peb-baselines` — the FNO and DeePEB models apply learned filters in
+//!   the frequency domain.
+//!
+//! Lengths must be powers of two; the workspace keeps all H/W grid sizes
+//! as powers of two for this reason (see DESIGN.md §5).
+//!
+//! # Example
+//!
+//! ```
+//! use peb_fft::{fft1d, ifft1d, Complex};
+//!
+//! # fn main() -> Result<(), peb_fft::FftError> {
+//! let signal: Vec<Complex> = (0..8).map(|i| Complex::new(i as f32, 0.0)).collect();
+//! let spectrum = fft1d(&signal)?;
+//! let back = ifft1d(&spectrum)?;
+//! assert!((back[3].re - 3.0).abs() < 1e-4);
+//! # Ok(())
+//! # }
+//! ```
+
+mod complex;
+mod convolve;
+mod fft1d;
+mod fftnd;
+mod rfft;
+
+pub use complex::Complex;
+pub use convolve::{convolve2d_periodic, convolve3d_periodic};
+pub use fft1d::{fft1d, fft1d_inplace, ifft1d, FftError};
+pub use fftnd::{fft2d, fft3d, ifft2d, ifft3d, ComplexField};
+pub use rfft::{irfft1d, rfft1d};

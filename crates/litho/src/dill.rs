@@ -1,0 +1,77 @@
+//! Dill exposure model: aerial image → initial photoacid.
+//!
+//! In positive-tone CAR, incident light decomposes the photoacid generator
+//! (PAG). First-order Dill kinetics give a PAG conversion of
+//! `1 − exp(−C · E)` for exposure dose `E`; the released photoacid is the
+//! converted fraction. This is the paper's cited initial condition ("the
+//! photoacid concentration is derived from the 3D aerial image via the
+//! Dill model [26]").
+
+use serde::{Deserialize, Serialize};
+
+use peb_tensor::Tensor;
+
+/// Dill model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DillParams {
+    /// Dill C coefficient times the nominal dose: the exponent scale that
+    /// turns the normalised aerial intensity into PAG conversion.
+    pub c_dose: f32,
+}
+
+impl DillParams {
+    /// Default setting, tuned so that 28 nm-class contacts print at their
+    /// design size (+~15 nm bias) under the default optics: peak
+    /// conversion ≈ 0.89 at unit aerial intensity, consistent with
+    /// `[A]_sat = 0.9` from Table I.
+    pub fn paper() -> Self {
+        DillParams { c_dose: 2.2 }
+    }
+
+    /// Converts a 3-D aerial image into the initial normalised photoacid
+    /// distribution `[A]₀ = 1 − exp(−c_dose · I)`.
+    pub fn photoacid(&self, aerial: &Tensor) -> Tensor {
+        let c = self.c_dose;
+        aerial.map(|i| 1.0 - (-c * i.max(0.0)).exp())
+    }
+}
+
+impl Default for DillParams {
+    fn default() -> Self {
+        DillParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_intensity_gives_zero_acid() {
+        let acid = DillParams::paper().photoacid(&Tensor::zeros(&[2, 3, 4]));
+        assert_eq!(acid.max_value(), 0.0);
+    }
+
+    #[test]
+    fn unit_intensity_approaches_saturation() {
+        let acid = DillParams::paper().photoacid(&Tensor::ones(&[1, 1, 1]));
+        // 1 − exp(−2.2) ≈ 0.889, just under [A]_sat = 0.9.
+        assert!((acid.item() - 0.889).abs() < 1e-3);
+    }
+
+    #[test]
+    fn monotone_in_intensity() {
+        let img = Tensor::linspace(0.0, 1.5, 16);
+        let acid = DillParams::paper().photoacid(&img);
+        for w in acid.data().windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(acid.max_value() < 1.0);
+    }
+
+    #[test]
+    fn negative_intensity_is_clamped() {
+        let img = Tensor::from_vec(vec![-0.5], &[1]).unwrap();
+        assert_eq!(DillParams::paper().photoacid(&img).item(), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+use peb_fft::FftError;
+use peb_tensor::TensorError;
+
+/// Errors from the lithography simulation chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LithoError {
+    /// A tensor operation failed (almost always a shape bug).
+    Tensor(TensorError),
+    /// An FFT failed (grid extent not a power of two).
+    Fft(FftError),
+    /// Configuration violates a physical or geometric invariant.
+    Config {
+        /// Description of the violated invariant.
+        detail: String,
+    },
+    /// The requested layout could not be generated (e.g. too many contacts
+    /// for the clip area under the spacing rule).
+    Layout {
+        /// Description of the failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LithoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LithoError::Tensor(e) => write!(f, "tensor error: {e}"),
+            LithoError::Fft(e) => write!(f, "fft error: {e}"),
+            LithoError::Config { detail } => write!(f, "invalid configuration: {detail}"),
+            LithoError::Layout { detail } => write!(f, "layout generation failed: {detail}"),
+        }
+    }
+}
+
+impl Error for LithoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LithoError::Tensor(e) => Some(e),
+            LithoError::Fft(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for LithoError {
+    fn from(e: TensorError) -> Self {
+        LithoError::Tensor(e)
+    }
+}
+
+impl From<FftError> for LithoError {
+    fn from(e: FftError) -> Self {
+        LithoError::Fft(e)
+    }
+}

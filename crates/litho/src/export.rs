@@ -1,0 +1,161 @@
+//! 3-D resist-profile export.
+//!
+//! Writes the developed/remaining resist boundary as a Wavefront OBJ mesh
+//! (axis-aligned quads on every voxel face separating resist from
+//! developed space or the outside world), so profiles can be inspected in
+//! any 3-D viewer. Complements the PGM/CSV outputs of the figure
+//! binaries.
+
+use std::fmt::Write as _;
+
+use peb_tensor::Tensor;
+
+use crate::{resist_profile, Grid, LithoError, Result};
+
+/// Builds an OBJ mesh of the *remaining resist* after development.
+///
+/// `arrival` is the eikonal arrival-time field; voxels with
+/// `arrival > t_dev` still contain resist. Coordinates are in
+/// nanometres; +z points down into the resist (depth index 0 at the
+/// top surface at z = 0).
+///
+/// # Errors
+///
+/// Returns [`LithoError::Config`] if `arrival` does not match the grid.
+pub fn resist_profile_obj(grid: &Grid, arrival: &Tensor, t_dev: f32) -> Result<String> {
+    if arrival.shape() != grid.shape3() {
+        return Err(LithoError::Config {
+            detail: format!(
+                "arrival shape {:?} does not match grid {:?}",
+                arrival.shape(),
+                grid.shape3()
+            ),
+        });
+    }
+    let developed = resist_profile(arrival, t_dev);
+    let (nz, ny, nx) = (grid.nz, grid.ny, grid.nx);
+    let solid = |z: isize, y: isize, x: isize| -> bool {
+        if z < 0 || z >= nz as isize || y < 0 || y >= ny as isize || x < 0 || x >= nx as isize {
+            return false; // outside = empty
+        }
+        developed.get(&[z as usize, y as usize, x as usize]) < 0.5
+    };
+    let mut vertices: Vec<(f32, f32, f32)> = Vec::new();
+    let mut faces: Vec<[usize; 4]> = Vec::new();
+    let mut vertex_id =
+        std::collections::HashMap::<(u32, u32, u32), usize>::new();
+    let mut vid = |vertices: &mut Vec<(f32, f32, f32)>, gx: u32, gy: u32, gz: u32| -> usize {
+        *vertex_id.entry((gx, gy, gz)).or_insert_with(|| {
+            vertices.push((
+                gx as f32 * grid.dx,
+                gy as f32 * grid.dy,
+                gz as f32 * grid.dz,
+            ));
+            vertices.len() - 1
+        })
+    };
+    for z in 0..nz as isize {
+        for y in 0..ny as isize {
+            for x in 0..nx as isize {
+                if !solid(z, y, x) {
+                    continue;
+                }
+                let (gx, gy, gz) = (x as u32, y as u32, z as u32);
+                // Emit a quad for every face adjacent to empty space.
+                let mut quad = |corners: [(u32, u32, u32); 4]| {
+                    let ids = corners.map(|(cx, cy, cz)| vid(&mut vertices, cx, cy, cz));
+                    faces.push(ids);
+                };
+                if !solid(z, y, x - 1) {
+                    quad([(gx, gy, gz), (gx, gy + 1, gz), (gx, gy + 1, gz + 1), (gx, gy, gz + 1)]);
+                }
+                if !solid(z, y, x + 1) {
+                    quad([(gx + 1, gy, gz), (gx + 1, gy, gz + 1), (gx + 1, gy + 1, gz + 1), (gx + 1, gy + 1, gz)]);
+                }
+                if !solid(z, y - 1, x) {
+                    quad([(gx, gy, gz), (gx, gy, gz + 1), (gx + 1, gy, gz + 1), (gx + 1, gy, gz)]);
+                }
+                if !solid(z, y + 1, x) {
+                    quad([(gx, gy + 1, gz), (gx + 1, gy + 1, gz), (gx + 1, gy + 1, gz + 1), (gx, gy + 1, gz + 1)]);
+                }
+                if !solid(z - 1, y, x) {
+                    quad([(gx, gy, gz), (gx + 1, gy, gz), (gx + 1, gy + 1, gz), (gx, gy + 1, gz)]);
+                }
+                if !solid(z + 1, y, x) {
+                    quad([(gx, gy, gz + 1), (gx, gy + 1, gz + 1), (gx + 1, gy + 1, gz + 1), (gx + 1, gy, gz + 1)]);
+                }
+            }
+        }
+    }
+    let mut obj = String::with_capacity(vertices.len() * 24 + faces.len() * 20);
+    let _ = writeln!(obj, "# resist profile — {} vertices, {} quads", vertices.len(), faces.len());
+    for (x, y, z) in &vertices {
+        let _ = writeln!(obj, "v {x} {y} {z}");
+    }
+    for f in &faces {
+        // OBJ indices are 1-based.
+        let _ = writeln!(obj, "f {} {} {} {}", f[0] + 1, f[1] + 1, f[2] + 1, f[3] + 1);
+    }
+    Ok(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::new(8, 8, 2, 4.0, 4.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn undeveloped_block_is_a_closed_box() {
+        let g = grid();
+        let arrival = Tensor::full(&g.shape3(), 1e6); // all resist remains
+        let obj = resist_profile_obj(&g, &arrival, 60.0).unwrap();
+        // A solid box of n voxels has exactly the outer-surface faces:
+        // 2·(8·8) + 2·(8·2) + 2·(8·2) = 192 quads.
+        let faces = obj.lines().filter(|l| l.starts_with("f ")).count();
+        assert_eq!(faces, 2 * 64 + 4 * 16);
+        // Header + at least one vertex line.
+        assert!(obj.starts_with("# resist profile"));
+        assert!(obj.contains("\nv "));
+    }
+
+    #[test]
+    fn fully_developed_is_empty_mesh() {
+        let g = grid();
+        let arrival = Tensor::zeros(&g.shape3());
+        let obj = resist_profile_obj(&g, &arrival, 60.0).unwrap();
+        assert_eq!(obj.lines().filter(|l| l.starts_with("f ")).count(), 0);
+    }
+
+    #[test]
+    fn hole_adds_interior_faces() {
+        let g = grid();
+        let mut arrival = Tensor::full(&g.shape3(), 1e6);
+        // Open one column through both layers.
+        arrival.set(&[0, 4, 4], 0.0);
+        arrival.set(&[1, 4, 4], 0.0);
+        let obj = resist_profile_obj(&g, &arrival, 60.0).unwrap();
+        let solid_faces = 2 * 64 + 4 * 16;
+        let faces = obj.lines().filter(|l| l.starts_with("f ")).count();
+        // Removing the column removes its 2 top/bottom surface quads and
+        // adds 8 interior side quads (4 sides × 2 layers).
+        assert_eq!(faces, solid_faces - 2 + 8);
+    }
+
+    #[test]
+    fn vertices_are_in_physical_units() {
+        let g = grid();
+        let arrival = Tensor::full(&g.shape3(), 1e6);
+        let obj = resist_profile_obj(&g, &arrival, 60.0).unwrap();
+        // The far corner vertex is at (nx·dx, ny·dy, nz·dz) = (32, 32, 20).
+        assert!(obj.contains("v 32 32 20"));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let g = grid();
+        assert!(resist_profile_obj(&g, &Tensor::zeros(&[1, 1, 1]), 60.0).is_err());
+    }
+}

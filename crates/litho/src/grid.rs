@@ -1,0 +1,148 @@
+//! Simulation grid geometry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LithoError, Result};
+
+/// A rectilinear simulation grid.
+///
+/// `[D, H, W]` tensors index as `(z, y, x)` with depth index 0 at the
+/// resist top surface. The paper's production setting is a 2×2 µm² window
+/// at 2 nm x/y and 1 nm z resolution, 80 nm resist (so 1000×1000×80); the
+/// defaults here are CPU-scale but keep the same proportions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Number of samples along x (tensor axis W). Must be a power of two.
+    pub nx: usize,
+    /// Number of samples along y (tensor axis H). Must be a power of two.
+    pub ny: usize,
+    /// Number of samples along z (tensor axis D), top surface first.
+    pub nz: usize,
+    /// x sample spacing in nanometres.
+    pub dx: f32,
+    /// y sample spacing in nanometres.
+    pub dy: f32,
+    /// z sample spacing in nanometres.
+    pub dz: f32,
+}
+
+impl Grid {
+    /// Creates a grid, validating extents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::Config`] when `nx`/`ny` are not powers of two
+    /// (FFT requirement) or any spacing is non-positive.
+    pub fn new(nx: usize, ny: usize, nz: usize, dx: f32, dy: f32, dz: f32) -> Result<Self> {
+        for (name, n) in [("nx", nx), ("ny", ny)] {
+            if n == 0 || n & (n - 1) != 0 {
+                return Err(LithoError::Config {
+                    detail: format!("{name}={n} must be a nonzero power of two"),
+                });
+            }
+        }
+        if nz == 0 {
+            return Err(LithoError::Config {
+                detail: "nz must be nonzero".into(),
+            });
+        }
+        if dx <= 0.0 || dy <= 0.0 || dz <= 0.0 {
+            return Err(LithoError::Config {
+                detail: format!("spacings must be positive, got ({dx}, {dy}, {dz})"),
+            });
+        }
+        Ok(Grid {
+            nx,
+            ny,
+            nz,
+            dx,
+            dy,
+            dz,
+        })
+    }
+
+    /// CPU-scale demo grid: 32×32 at 4 nm, 8 depth levels at 10 nm
+    /// (80 nm resist as in the paper, coarser sampling).
+    pub fn small() -> Self {
+        Grid {
+            nx: 32,
+            ny: 32,
+            nz: 8,
+            dx: 4.0,
+            dy: 4.0,
+            dz: 10.0,
+        }
+    }
+
+    /// Default experiment grid: 64×64 at 4 nm (256 nm window), 16 depth
+    /// levels at 5 nm (80 nm resist).
+    pub fn medium() -> Self {
+        Grid {
+            nx: 64,
+            ny: 64,
+            nz: 16,
+            dx: 4.0,
+            dy: 4.0,
+            dz: 5.0,
+        }
+    }
+
+    /// Shape of a single-depth field: `[H, W]`.
+    pub fn shape2(&self) -> [usize; 2] {
+        [self.ny, self.nx]
+    }
+
+    /// Shape of a volume field: `[D, H, W]`.
+    pub fn shape3(&self) -> [usize; 3] {
+        [self.nz, self.ny, self.nx]
+    }
+
+    /// Number of voxels in a volume field.
+    pub fn voxels(&self) -> usize {
+        self.nz * self.ny * self.nx
+    }
+
+    /// Physical window size `(x, y)` in nanometres.
+    pub fn window_nm(&self) -> (f32, f32) {
+        (self.nx as f32 * self.dx, self.ny as f32 * self.dy)
+    }
+
+    /// Resist thickness in nanometres.
+    pub fn thickness_nm(&self) -> f32 {
+        self.nz as f32 * self.dz
+    }
+
+    /// Depth (nm below the top surface) of layer `k`'s voxel centre.
+    pub fn depth_of(&self, k: usize) -> f32 {
+        (k as f32 + 0.5) * self.dz
+    }
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Grid::medium()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Grid::new(31, 32, 8, 2.0, 2.0, 1.0).is_err());
+        assert!(Grid::new(32, 32, 0, 2.0, 2.0, 1.0).is_err());
+        assert!(Grid::new(32, 32, 8, -1.0, 2.0, 1.0).is_err());
+        assert!(Grid::new(32, 32, 8, 2.0, 2.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let g = Grid::medium();
+        assert_eq!(g.shape3(), [16, 64, 64]);
+        assert_eq!(g.voxels(), 16 * 64 * 64);
+        assert_eq!(g.window_nm(), (256.0, 256.0));
+        assert_eq!(g.thickness_nm(), 80.0);
+        assert_eq!(g.depth_of(0), 2.5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Mack development-rate model (Eq. 5).
+
+use serde::{Deserialize, Serialize};
+
+use peb_tensor::Tensor;
+
+/// Mack kinetic development model parameters; defaults are Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MackParams {
+    /// Maximum development rate (nm/s) for fully deprotected resist.
+    pub r_max: f32,
+    /// Minimum development rate (nm/s) for unexposed resist.
+    pub r_min: f32,
+    /// Threshold inhibitor concentration `M_th`.
+    pub m_th: f32,
+    /// Surface reaction order `n`.
+    pub n: f32,
+    /// Development duration in seconds (Table I: 60).
+    pub duration: f32,
+}
+
+impl MackParams {
+    /// The paper's Table I values.
+    pub fn paper() -> Self {
+        MackParams {
+            r_max: 40.0,
+            r_min: 0.0003,
+            m_th: 0.5,
+            n: 30.0,
+            duration: 60.0,
+        }
+    }
+
+    /// The Mack `a` constant `(1 − M_th)ⁿ (n+1)/(n−1)`.
+    pub fn a_const(&self) -> f32 {
+        (1.0 - self.m_th).powf(self.n) * (self.n + 1.0) / (self.n - 1.0)
+    }
+
+    /// Development rate (nm/s) for a single inhibitor concentration.
+    ///
+    /// `R = R_max (a+1)(1−m)ⁿ / (a + (1−m)ⁿ) + R_min`, clamped to
+    /// `[R_min, R_max]`.
+    pub fn rate(&self, inhibitor: f32) -> f32 {
+        let m = inhibitor.clamp(0.0, 1.0);
+        let a = self.a_const();
+        let p = (1.0 - m).powf(self.n);
+        let r = self.r_max * (a + 1.0) * p / (a + p) + self.r_min;
+        r.clamp(self.r_min, self.r_max)
+    }
+
+    /// Development-rate field from an inhibitor field (any shape).
+    pub fn rate_field(&self, inhibitor: &Tensor) -> Tensor {
+        inhibitor.map(|m| self.rate(m))
+    }
+}
+
+impl Default for MackParams {
+    fn default() -> Self {
+        MackParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits() {
+        let p = MackParams::paper();
+        // Fully protected resist develops at ≈ R_min.
+        assert!(p.rate(1.0) <= p.r_min * 2.0);
+        // Fully deprotected resist develops at ≈ R_max.
+        assert!((p.rate(0.0) - p.r_max).abs() / p.r_max < 0.05);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_inhibitor() {
+        let p = MackParams::paper();
+        let mut prev = f32::INFINITY;
+        for i in 0..=20 {
+            let r = p.rate(i as f32 / 20.0);
+            assert!(r <= prev + 1e-6);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn threshold_behaviour() {
+        // With n = 30 the rate switches steeply around M_th.
+        let p = MackParams::paper();
+        let above = p.rate(p.m_th + 0.1);
+        let below = p.rate(p.m_th - 0.1);
+        assert!(below / above > 100.0, "below {below} above {above}");
+    }
+
+    #[test]
+    fn rate_field_matches_scalar() {
+        let p = MackParams::paper();
+        let m = Tensor::linspace(0.0, 1.0, 5);
+        let r = p.rate_field(&m);
+        for (i, &mi) in m.data().iter().enumerate() {
+            assert_eq!(r.data()[i], p.rate(mi));
+        }
+    }
+
+    #[test]
+    fn rates_are_bounded() {
+        let p = MackParams::paper();
+        let m = Tensor::linspace(-0.5, 1.5, 33); // deliberately out of range
+        let r = p.rate_field(&m);
+        assert!(r.min_value() >= p.r_min);
+        assert!(r.max_value() <= p.r_max);
+    }
+}

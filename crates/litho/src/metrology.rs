@@ -1,0 +1,353 @@
+//! Critical-dimension (CD) metrology on developed resist profiles.
+//!
+//! Measures printed contact-hole widths in x and y at a chosen depth
+//! layer, with sub-pixel interpolation of the development-front crossing.
+//! The paper's CD error (Eq. 14) compares per-contact CDs of a predicted
+//! profile against the rigorous one.
+
+use serde::{Deserialize, Serialize};
+
+use peb_tensor::Tensor;
+
+use crate::{Contact, Grid, LithoError, Result};
+
+/// Measured dimensions of one printed contact.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContactCd {
+    /// Printed width along x in nanometres (0 when the hole failed to
+    /// open at this layer).
+    pub cd_x_nm: f32,
+    /// Printed width along y in nanometres.
+    pub cd_y_nm: f32,
+    /// Whether the hole opened (front reached the contact centre).
+    pub open: bool,
+    /// Nearest-voxel centre of the design contact `(y, x)`.
+    pub centre: (usize, usize),
+}
+
+/// Measures every contact of a clip at depth layer `layer`.
+///
+/// `arrival` is the eikonal arrival-time field and `t_dev` the development
+/// duration; a voxel is developed when `arrival ≤ t_dev`.
+///
+/// # Errors
+///
+/// Returns [`LithoError::Config`] if `arrival` does not match the grid or
+/// `layer` is out of range.
+pub fn measure_contact_cds(
+    grid: &Grid,
+    arrival: &Tensor,
+    t_dev: f32,
+    contacts: &[Contact],
+    layer: usize,
+) -> Result<Vec<ContactCd>> {
+    if arrival.shape() != grid.shape3() {
+        return Err(LithoError::Config {
+            detail: format!(
+                "arrival shape {:?} does not match grid {:?}",
+                arrival.shape(),
+                grid.shape3()
+            ),
+        });
+    }
+    if layer >= grid.nz {
+        return Err(LithoError::Config {
+            detail: format!("layer {layer} out of range for nz={}", grid.nz),
+        });
+    }
+    let mut out = Vec::with_capacity(contacts.len());
+    for c in contacts {
+        let cy = (c.cy.round() as usize).min(grid.ny - 1);
+        let cx = (c.cx.round() as usize).min(grid.nx - 1);
+        let centre_developed = arrival.get(&[layer, cy, cx]) <= t_dev;
+        if !centre_developed {
+            out.push(ContactCd {
+                cd_x_nm: 0.0,
+                cd_y_nm: 0.0,
+                open: false,
+                centre: (cy, cx),
+            });
+            continue;
+        }
+        let cd_x = span_through(
+            |x| arrival.get(&[layer, cy, x]),
+            cx,
+            grid.nx,
+            t_dev,
+        ) * grid.dx;
+        let cd_y = span_through(
+            |y| arrival.get(&[layer, y, cx]),
+            cy,
+            grid.ny,
+            t_dev,
+        ) * grid.dy;
+        out.push(ContactCd {
+            cd_x_nm: cd_x,
+            cd_y_nm: cd_y,
+            open: true,
+            centre: (cy, cx),
+        });
+    }
+    Ok(out)
+}
+
+/// Developed span (in pixels) through index `centre` along one axis, with
+/// linear sub-pixel interpolation of the `t_dev` crossing on each side.
+fn span_through(s: impl Fn(usize) -> f32, centre: usize, n: usize, t_dev: f32) -> f32 {
+    debug_assert!(s(centre) <= t_dev, "span_through requires a developed centre");
+    // Walk right.
+    let mut right = centre as f32;
+    for i in centre..n - 1 {
+        let (a, b) = (s(i), s(i + 1));
+        if b > t_dev {
+            right = i as f32 + frac(a, b, t_dev);
+            break;
+        }
+        right = (i + 1) as f32;
+    }
+    // Walk left.
+    let mut left = centre as f32;
+    for i in (1..=centre).rev() {
+        let (a, b) = (s(i), s(i - 1));
+        if b > t_dev {
+            left = i as f32 - frac(a, b, t_dev);
+            break;
+        }
+        left = (i - 1) as f32;
+    }
+    right - left
+}
+
+/// Fractional distance from the developed sample `a` toward the
+/// undeveloped sample `b` where the arrival time crosses `t`.
+fn frac(a: f32, b: f32, t: f32) -> f32 {
+    if (b - a).abs() < f32::EPSILON {
+        0.5
+    } else {
+        ((t - a) / (b - a)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds an arrival field where a `w × w` box around each contact is
+    /// developed (arrival 0) and everything else is not (arrival large).
+    fn synthetic_arrival(grid: &Grid, contacts: &[Contact], half_w: f32) -> Tensor {
+        let mut s = Tensor::full(&grid.shape3(), 1e6);
+        for c in contacts {
+            for z in 0..grid.nz {
+                for y in 0..grid.ny {
+                    for x in 0..grid.nx {
+                        if (y as f32 - c.cy).abs() <= half_w && (x as f32 - c.cx).abs() <= half_w
+                        {
+                            s.set(&[z, y, x], 0.0);
+                        }
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    fn grid() -> Grid {
+        Grid::new(32, 32, 4, 4.0, 4.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn measures_box_width() {
+        let g = grid();
+        let contacts = vec![Contact {
+            cy: 16.0,
+            cx: 16.0,
+            w: 8.0,
+            h: 8.0,
+        }];
+        // Developed half-width 4 px ⇒ span 8 px wide + interpolated edges.
+        let s = synthetic_arrival(&g, &contacts, 4.0);
+        let cds = measure_contact_cds(&g, &s, 60.0, &contacts, 0).unwrap();
+        assert!(cds[0].open);
+        // Voxels 12..=20 developed → span between crossings ≈ 9±1 px.
+        assert!((cds[0].cd_x_nm / g.dx - 9.0).abs() <= 1.0, "{:?}", cds[0]);
+        assert!((cds[0].cd_x_nm - cds[0].cd_y_nm).abs() < 1e-3);
+    }
+
+    #[test]
+    fn closed_contact_reports_zero() {
+        let g = grid();
+        let contacts = vec![Contact {
+            cy: 8.0,
+            cx: 8.0,
+            w: 8.0,
+            h: 8.0,
+        }];
+        let s = Tensor::full(&g.shape3(), 1e6);
+        let cds = measure_contact_cds(&g, &s, 60.0, &contacts, 0).unwrap();
+        assert!(!cds[0].open);
+        assert_eq!(cds[0].cd_x_nm, 0.0);
+    }
+
+    #[test]
+    fn subpixel_interpolation_moves_edge() {
+        let g = grid();
+        let contacts = vec![Contact {
+            cy: 16.0,
+            cx: 16.0,
+            w: 4.0,
+            h: 4.0,
+        }];
+        // Linear ramp along x: developed near the centre, crossing between
+        // samples.
+        let mut s = Tensor::full(&g.shape3(), 1e6);
+        for x in 0..g.nx {
+            let d = (x as f32 - 16.0).abs();
+            for y in 0..g.ny {
+                for z in 0..g.nz {
+                    s.set(&[z, y, x], d * 10.0); // crosses t=35 at d=3.5
+                }
+            }
+        }
+        let cds = measure_contact_cds(&g, &s, 35.0, &contacts, 0).unwrap();
+        assert!((cds[0].cd_x_nm / g.dx - 7.0).abs() < 0.05, "{:?}", cds[0]);
+    }
+
+    #[test]
+    fn rejects_bad_layer_and_shape() {
+        let g = grid();
+        let s = Tensor::full(&g.shape3(), 0.0);
+        assert!(measure_contact_cds(&g, &s, 1.0, &[], 99).is_err());
+        assert!(measure_contact_cds(&g, &Tensor::zeros(&[1, 1, 1]), 1.0, &[], 0).is_err());
+    }
+}
+
+/// Vertical profile metrics of one printed contact.
+///
+/// Extends the paper's x/y CD metrology with the standard resist-profile
+/// quantities process engineers track: the top and bottom CDs and the
+/// sidewall angle implied by their difference across the resist
+/// thickness. A perfectly vertical profile has ratio 1 and angle 90°.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContactProfile {
+    /// CD at the top layer (nm, x direction).
+    pub top_cd_nm: f32,
+    /// CD at the bottom layer (nm, x direction).
+    pub bottom_cd_nm: f32,
+    /// `bottom / top` CD ratio (0 when the top failed to open).
+    pub cd_ratio: f32,
+    /// Sidewall angle in degrees from horizontal (90° = vertical wall).
+    pub sidewall_angle_deg: f32,
+    /// Whether the hole opened through the full resist thickness.
+    pub through: bool,
+}
+
+/// Measures the vertical profile of every contact: top/bottom CDs and
+/// sidewall angle.
+///
+/// # Errors
+///
+/// Returns [`LithoError::Config`] if `arrival` does not match the grid.
+pub fn measure_contact_profiles(
+    grid: &Grid,
+    arrival: &Tensor,
+    t_dev: f32,
+    contacts: &[Contact],
+) -> Result<Vec<ContactProfile>> {
+    let top = measure_contact_cds(grid, arrival, t_dev, contacts, 0)?;
+    let bottom = measure_contact_cds(grid, arrival, t_dev, contacts, grid.nz - 1)?;
+    let thickness = grid.thickness_nm() - grid.dz; // between layer centres
+    Ok(top
+        .iter()
+        .zip(&bottom)
+        .map(|(t, b)| {
+            let through = t.open && b.open;
+            let cd_ratio = if t.cd_x_nm > 0.0 {
+                b.cd_x_nm / t.cd_x_nm
+            } else {
+                0.0
+            };
+            // Wall slope from the half-difference of CDs over the height.
+            let half_diff = (t.cd_x_nm - b.cd_x_nm) * 0.5;
+            let sidewall_angle_deg = if through {
+                (thickness / half_diff.abs().max(1e-6))
+                    .atan()
+                    .to_degrees()
+            } else {
+                0.0
+            };
+            ContactProfile {
+                top_cd_nm: t.cd_x_nm,
+                bottom_cd_nm: b.cd_x_nm,
+                cd_ratio,
+                sidewall_angle_deg,
+                through,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::new(32, 32, 4, 4.0, 4.0, 10.0).unwrap()
+    }
+
+    /// Arrival field forming a frustum: developed half-width shrinks
+    /// linearly with depth.
+    fn frustum_arrival(grid: &Grid, cx: f32, cy: f32, top_half: f32, bottom_half: f32) -> Tensor {
+        let mut s = Tensor::full(&grid.shape3(), 1e6);
+        for z in 0..grid.nz {
+            let f = z as f32 / (grid.nz - 1) as f32;
+            let half = top_half + (bottom_half - top_half) * f;
+            for y in 0..grid.ny {
+                for x in 0..grid.nx {
+                    if (y as f32 - cy).abs() <= half && (x as f32 - cx).abs() <= half {
+                        s.set(&[z, y, x], 0.0);
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn vertical_wall_gives_ninety_degrees() {
+        let g = grid();
+        let contacts = vec![Contact { cy: 16.0, cx: 16.0, w: 8.0, h: 8.0 }];
+        let s = frustum_arrival(&g, 16.0, 16.0, 4.0, 4.0);
+        let p = measure_contact_profiles(&g, &s, 60.0, &contacts).unwrap();
+        assert!(p[0].through);
+        assert!((p[0].cd_ratio - 1.0).abs() < 0.05, "{:?}", p[0]);
+        assert!(p[0].sidewall_angle_deg > 85.0, "{:?}", p[0]);
+    }
+
+    #[test]
+    fn tapered_wall_has_smaller_angle_and_ratio() {
+        let g = grid();
+        let contacts = vec![Contact { cy: 16.0, cx: 16.0, w: 10.0, h: 10.0 }];
+        let s = frustum_arrival(&g, 16.0, 16.0, 6.0, 2.0);
+        let p = measure_contact_profiles(&g, &s, 60.0, &contacts).unwrap();
+        assert!(p[0].through);
+        assert!(p[0].cd_ratio < 0.7, "{:?}", p[0]);
+        assert!(p[0].sidewall_angle_deg < 85.0, "{:?}", p[0]);
+        assert!(p[0].sidewall_angle_deg > 30.0, "{:?}", p[0]);
+    }
+
+    #[test]
+    fn closed_bottom_is_not_through() {
+        let g = grid();
+        let contacts = vec![Contact { cy: 16.0, cx: 16.0, w: 8.0, h: 8.0 }];
+        // Developed at the top only.
+        let mut s = Tensor::full(&g.shape3(), 1e6);
+        for y in 12..20 {
+            for x in 12..20 {
+                s.set(&[0, y, x], 0.0);
+            }
+        }
+        let p = measure_contact_profiles(&g, &s, 60.0, &contacts).unwrap();
+        assert!(!p[0].through);
+        assert_eq!(p[0].sidewall_angle_deg, 0.0);
+    }
+}

@@ -1,0 +1,604 @@
+//! Rigorous post-exposure-bake reaction–diffusion solver (Eqs. 1–4).
+//!
+//! Integrates the coupled system
+//!
+//! ```text
+//! ∂[I]/∂t = −kc [I][A]                                   (catalysis, Eq. 1)
+//! ∂[A]/∂t = −kr [A][B] + ∇·(D_A ∇[A])                    (Eq. 2)
+//! ∂[B]/∂t = −kr [A][B] + ∇·(D_B ∇[B])                    (Eq. 3)
+//! ```
+//!
+//! with zero-flux boundaries in x/y and a Robin condition for the acid at
+//! the top resist surface, `D_A ∂[A]/∂z = h([A]_top − [A]_sat)` (Eq. 4).
+//! Diffusion is anisotropic: the paper specifies separate normal (z) and
+//! lateral (x/y) diffusion lengths, `L = √(2DT)` ⇒ `D = L²/(2T)`.
+//!
+//! Two time integrators are provided:
+//!
+//! * [`TimeScheme::ImplicitLod`] — locally one-dimensional (Lie-split)
+//!   implicit sweeps per axis (Thomas solver). Unconditionally stable, so
+//!   the paper's Δt = 0.1 s is usable even though `D_z,A ≈ 27 nm²/s` would
+//!   limit an explicit scheme to Δt ≲ 0.02 s on a 1 nm z-grid.
+//! * [`TimeScheme::ExplicitEuler`] — reference explicit scheme used for
+//!   cross-validation at small Δt.
+//!
+//! Reaction and diffusion are combined by Strang splitting (half reaction,
+//! full diffusion, half reaction); the reaction half-steps use RK4 for the
+//! acid–base pair and an exact exponential update for the inhibitor.
+
+use serde::{Deserialize, Serialize};
+
+use peb_tensor::Tensor;
+
+use crate::tridiag::solve_tridiagonal;
+use crate::{Grid, LithoError, Result};
+
+/// PEB physical parameters; defaults are the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PebParams {
+    /// Acid normal (z) diffusion length `L_{N,A}` in nm. Table I: 70.
+    pub normal_diff_len_a: f32,
+    /// Base normal diffusion length `L_{N,B}` in nm. Table I: 15.
+    pub normal_diff_len_b: f32,
+    /// Acid lateral (x/y) diffusion length `L_{L,A}` in nm. Table I: 10.
+    pub lateral_diff_len_a: f32,
+    /// Base lateral diffusion length `L_{L,B}` in nm. Table I: 10.
+    pub lateral_diff_len_b: f32,
+    /// Catalysis coefficient `k_c` (1/s). Table I: 0.9.
+    pub kc: f32,
+    /// Acid–base neutralisation coefficient `k_r` (1/s). Table I: 8.6993.
+    pub kr: f32,
+    /// Acid surface transfer coefficient `h_A` (nm/s). Table I: 0.027.
+    pub h_a: f32,
+    /// Base surface transfer coefficient `h_B`. Table I: 0.
+    pub h_b: f32,
+    /// Acid saturation concentration `[A]_sat`. Table I: 0.9.
+    pub a_sat: f32,
+    /// Base saturation concentration `[B]_sat`. Table I: 0.
+    pub b_sat: f32,
+    /// Initial inhibitor `[I](t=0)`. Table I: 1.0.
+    pub inhibitor0: f32,
+    /// Initial base quencher `[B](t=0)`. Table I: 0.4.
+    pub base0: f32,
+    /// Baseline time step Δt in seconds. Table I: 0.1.
+    pub dt: f32,
+    /// Bake duration T in seconds. Table I: 90.
+    pub duration: f32,
+}
+
+impl PebParams {
+    /// The paper's Table I values.
+    pub fn paper() -> Self {
+        PebParams {
+            normal_diff_len_a: 70.0,
+            normal_diff_len_b: 15.0,
+            lateral_diff_len_a: 10.0,
+            lateral_diff_len_b: 10.0,
+            kc: 0.9,
+            kr: 8.6993,
+            h_a: 0.027,
+            h_b: 0.0,
+            a_sat: 0.9,
+            b_sat: 0.0,
+            inhibitor0: 1.0,
+            base0: 0.4,
+            dt: 0.1,
+            duration: 90.0,
+        }
+    }
+
+    /// Acid diffusivities `(lateral, normal)` in nm²/s from `L = √(2DT)`.
+    pub fn diffusivity_a(&self) -> (f32, f32) {
+        let t = self.duration;
+        (
+            self.lateral_diff_len_a.powi(2) / (2.0 * t),
+            self.normal_diff_len_a.powi(2) / (2.0 * t),
+        )
+    }
+
+    /// Base diffusivities `(lateral, normal)` in nm²/s.
+    pub fn diffusivity_b(&self) -> (f32, f32) {
+        let t = self.duration;
+        (
+            self.lateral_diff_len_b.powi(2) / (2.0 * t),
+            self.normal_diff_len_b.powi(2) / (2.0 * t),
+        )
+    }
+}
+
+impl Default for PebParams {
+    fn default() -> Self {
+        PebParams::paper()
+    }
+}
+
+/// Time integration scheme for the diffusion operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeScheme {
+    /// Locally one-dimensional implicit sweeps — unconditionally stable.
+    ImplicitLod,
+    /// Reference forward-Euler scheme — conditionally stable, used for
+    /// solver cross-validation.
+    ExplicitEuler,
+}
+
+/// Concentration fields at the end of (or during) the bake.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PebState {
+    /// Photoacid `[A]`, shape `[D, H, W]`.
+    pub acid: Tensor,
+    /// Base quencher `[B]`, shape `[D, H, W]`.
+    pub base: Tensor,
+    /// Inhibitor `[I]`, shape `[D, H, W]`.
+    pub inhibitor: Tensor,
+}
+
+/// The rigorous PEB solver, standing in for S-Litho's resist bake step.
+#[derive(Debug, Clone)]
+pub struct PebSolver {
+    params: PebParams,
+    grid: Grid,
+    scheme: TimeScheme,
+}
+
+/// Boundary condition of one end of an implicit sweep line.
+#[derive(Clone, Copy)]
+enum EndBc {
+    /// Reflective (zero-flux).
+    Neumann,
+    /// Robin in/out-diffusion: flux `h (u − sat)` with `h` in nm/s.
+    Robin { h: f32, sat: f32 },
+}
+
+impl PebSolver {
+    /// Creates a solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::Config`] for non-positive Δt/duration, and for
+    /// explicit integration when Δt violates the stability limit.
+    pub fn new(params: PebParams, grid: Grid, scheme: TimeScheme) -> Result<Self> {
+        if params.dt <= 0.0 || params.duration <= 0.0 {
+            return Err(LithoError::Config {
+                detail: format!(
+                    "dt={} and duration={} must be positive",
+                    params.dt, params.duration
+                ),
+            });
+        }
+        if scheme == TimeScheme::ExplicitEuler {
+            let (dl_a, dn_a) = params.diffusivity_a();
+            let (dl_b, dn_b) = params.diffusivity_b();
+            let limit = |dl: f32, dn: f32| {
+                0.5 / (dl / (grid.dx * grid.dx) + dl / (grid.dy * grid.dy)
+                    + dn / (grid.dz * grid.dz))
+            };
+            let max_dt = limit(dl_a, dn_a).min(limit(dl_b, dn_b));
+            if params.dt > max_dt {
+                return Err(LithoError::Config {
+                    detail: format!(
+                        "explicit scheme unstable: dt={} exceeds limit {max_dt:.4}",
+                        params.dt
+                    ),
+                });
+            }
+        }
+        Ok(PebSolver {
+            params,
+            grid,
+            scheme,
+        })
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &PebParams {
+        &self.params
+    }
+
+    /// Runs the bake from an initial photoacid field.
+    ///
+    /// Initial conditions follow the paper: uniform inhibitor
+    /// (`inhibitor0`) and base (`base0`), photoacid from the Dill model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::Config`] if `acid0` does not match the grid.
+    pub fn run(&self, acid0: &Tensor) -> Result<PebState> {
+        let shape = self.grid.shape3();
+        if acid0.shape() != shape {
+            return Err(LithoError::Config {
+                detail: format!(
+                    "acid0 shape {:?} does not match grid {:?}",
+                    acid0.shape(),
+                    shape
+                ),
+            });
+        }
+        let mut state = PebState {
+            acid: acid0.clone(),
+            base: Tensor::full(&shape, self.params.base0),
+            inhibitor: Tensor::full(&shape, self.params.inhibitor0),
+        };
+        let steps = (self.params.duration / self.params.dt).round().max(1.0) as usize;
+        let dt = self.params.duration / steps as f32;
+        let mut scratch = DiffusionScratch::new(&self.grid);
+        for _ in 0..steps {
+            self.reaction_half_step(&mut state, dt * 0.5);
+            self.diffuse(&mut state.acid, self.params.diffusivity_a(), true, dt, &mut scratch);
+            self.diffuse(&mut state.base, self.params.diffusivity_b(), false, dt, &mut scratch);
+            self.reaction_half_step(&mut state, dt * 0.5);
+        }
+        Ok(state)
+    }
+
+    /// Strang half-step for the local reactions.
+    ///
+    /// The acid–base pair `(A, B)` evolves under `Ȧ = Ḃ = −kr·A·B` (RK4);
+    /// the inhibitor uses the exact update
+    /// `I ← I · exp(−kc · Ā · δt)` with `Ā` the trapezoidal mean of the
+    /// acid over the sub-step.
+    fn reaction_half_step(&self, state: &mut PebState, dt: f32) {
+        let kr = self.params.kr;
+        let kc = self.params.kc;
+        let acid = state.acid.data_mut();
+        let base = state.base.data_mut();
+        let inhibitor = state.inhibitor.data_mut();
+        for ((a, b), i) in acid.iter_mut().zip(base.iter_mut()).zip(inhibitor.iter_mut()) {
+            let a0 = *a;
+            let (a1, b1) = rk4_neutralise(a0, *b, kr, dt);
+            *a = a1.max(0.0);
+            *b = b1.max(0.0);
+            let mean_a = 0.5 * (a0 + *a);
+            *i *= (-kc * mean_a * dt).exp();
+        }
+    }
+
+    /// One diffusion step for a species with `(lateral, normal)`
+    /// diffusivities. `robin_top` enables the Eq. 4 surface condition at
+    /// depth index 0 (acid only; the base has `h = 0` ⇒ Neumann).
+    fn diffuse(
+        &self,
+        field: &mut Tensor,
+        (d_lat, d_norm): (f32, f32),
+        robin_top: bool,
+        dt: f32,
+        scratch: &mut DiffusionScratch,
+    ) {
+        let top_bc = if robin_top {
+            EndBc::Robin {
+                h: self.params.h_a,
+                sat: self.params.a_sat,
+            }
+        } else if self.params.h_b > 0.0 {
+            EndBc::Robin {
+                h: self.params.h_b,
+                sat: self.params.b_sat,
+            }
+        } else {
+            EndBc::Neumann
+        };
+        match self.scheme {
+            TimeScheme::ImplicitLod => {
+                // Lie splitting: x, then y, then z implicit sweeps.
+                implicit_axis(field, 2, d_lat * dt / (self.grid.dx * self.grid.dx), EndBc::Neumann, EndBc::Neumann, scratch);
+                implicit_axis(field, 1, d_lat * dt / (self.grid.dy * self.grid.dy), EndBc::Neumann, EndBc::Neumann, scratch);
+                implicit_axis(
+                    field,
+                    0,
+                    d_norm * dt / (self.grid.dz * self.grid.dz),
+                    top_bc_scaled(top_bc, dt, self.grid.dz),
+                    EndBc::Neumann,
+                    scratch,
+                );
+            }
+            TimeScheme::ExplicitEuler => {
+                explicit_step(field, &self.grid, d_lat, d_norm, top_bc, dt);
+            }
+        }
+    }
+}
+
+/// Pre-scales a Robin condition into the dimensionless form used by the
+/// implicit solver (`h·dt/dz`).
+fn top_bc_scaled(bc: EndBc, dt: f32, dz: f32) -> EndBc {
+    match bc {
+        EndBc::Neumann => EndBc::Neumann,
+        EndBc::Robin { h, sat } => EndBc::Robin {
+            h: h * dt / dz,
+            sat,
+        },
+    }
+}
+
+/// RK4 integration of the neutralisation pair over `dt`.
+///
+/// `A − B` is conserved by the exact dynamics; RK4 preserves it to
+/// round-off because both derivatives are identical.
+fn rk4_neutralise(a: f32, b: f32, kr: f32, dt: f32) -> (f32, f32) {
+    let f = |a: f32, b: f32| -kr * a * b;
+    let k1 = f(a, b);
+    let k2 = f(a + 0.5 * dt * k1, b + 0.5 * dt * k1);
+    let k3 = f(a + 0.5 * dt * k2, b + 0.5 * dt * k2);
+    let k4 = f(a + dt * k3, b + dt * k3);
+    let delta = dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    (a + delta, b + delta)
+}
+
+/// Reusable buffers for the implicit sweeps.
+struct DiffusionScratch {
+    line: Vec<f32>,
+    gamma: Vec<f32>,
+    lower: Vec<f32>,
+    diag: Vec<f32>,
+    upper: Vec<f32>,
+}
+
+impl DiffusionScratch {
+    fn new(grid: &Grid) -> Self {
+        let n = grid.nx.max(grid.ny).max(grid.nz);
+        DiffusionScratch {
+            line: vec![0.0; n],
+            gamma: vec![0.0; n],
+            lower: vec![0.0; n],
+            diag: vec![0.0; n],
+            upper: vec![0.0; n],
+        }
+    }
+}
+
+/// Implicit backward-Euler sweep of one axis: solves
+/// `(I − r·L_axis) u_new = u_old` line by line, where `r = D·dt/h²` and
+/// `L_axis` is the 1-D Laplacian with the given end conditions.
+fn implicit_axis(
+    field: &mut Tensor,
+    axis: usize,
+    r: f32,
+    bc_first: EndBc,
+    bc_last: EndBc,
+    s: &mut DiffusionScratch,
+) {
+    if r == 0.0 {
+        return;
+    }
+    let shape = field.shape().to_vec();
+    let outer: usize = shape[..axis].iter().product();
+    let n = shape[axis];
+    let inner: usize = shape[axis + 1..].iter().product();
+    if n == 1 {
+        return;
+    }
+    // Coefficient arrays are identical for every line of this axis.
+    for i in 0..n {
+        s.lower[i] = -r;
+        s.diag[i] = 1.0 + 2.0 * r;
+        s.upper[i] = -r;
+    }
+    // Reflective end rows lose one neighbour.
+    s.diag[0] = 1.0 + r;
+    s.diag[n - 1] = 1.0 + r;
+    let mut rhs_bump_first = 0.0f32;
+    if let EndBc::Robin { h, sat } = bc_first {
+        // h here is the pre-scaled h·dt/dz.
+        s.diag[0] += h;
+        rhs_bump_first = h * sat;
+    }
+    let mut rhs_bump_last = 0.0f32;
+    if let EndBc::Robin { h, sat } = bc_last {
+        s.diag[n - 1] += h;
+        rhs_bump_last = h * sat;
+    }
+    let data = field.data_mut();
+    for o in 0..outer {
+        for i in 0..inner {
+            for k in 0..n {
+                s.line[k] = data[(o * n + k) * inner + i];
+            }
+            s.line[0] += rhs_bump_first;
+            s.line[n - 1] += rhs_bump_last;
+            solve_tridiagonal(
+                &s.lower[..n],
+                &s.diag[..n],
+                &s.upper[..n],
+                &mut s.line[..n],
+                &mut s.gamma[..n],
+            );
+            for k in 0..n {
+                data[(o * n + k) * inner + i] = s.line[k];
+            }
+        }
+    }
+}
+
+/// Reference explicit step (all axes at once).
+fn explicit_step(
+    field: &mut Tensor,
+    grid: &Grid,
+    d_lat: f32,
+    d_norm: f32,
+    top_bc: EndBc,
+    dt: f32,
+) {
+    let (nz, ny, nx) = (grid.nz, grid.ny, grid.nx);
+    let (rx, ry, rz) = (
+        d_lat * dt / (grid.dx * grid.dx),
+        d_lat * dt / (grid.dy * grid.dy),
+        d_norm * dt / (grid.dz * grid.dz),
+    );
+    let src = field.data().to_vec();
+    let dst = field.data_mut();
+    let at = |z: usize, y: usize, x: usize| (z * ny + y) * nx + x;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let c = src[at(z, y, x)];
+                // Zero-flux: mirror at the boundary.
+                let xm = if x == 0 { c } else { src[at(z, y, x - 1)] };
+                let xp = if x + 1 == nx { c } else { src[at(z, y, x + 1)] };
+                let ym = if y == 0 { c } else { src[at(z, y - 1, x)] };
+                let yp = if y + 1 == ny { c } else { src[at(z, y + 1, x)] };
+                let zp = if z + 1 == nz { c } else { src[at(z + 1, y, x)] };
+                let mut acc = rx * (xm + xp - 2.0 * c) + ry * (ym + yp - 2.0 * c);
+                if z == 0 {
+                    // Top surface: diffusive flux to the layer below plus
+                    // the Robin exchange term.
+                    acc += rz * (zp - c);
+                    if let EndBc::Robin { h, sat } = top_bc {
+                        acc -= h * dt / grid.dz * (c - sat);
+                    }
+                } else {
+                    let zm = src[at(z - 1, y, x)];
+                    acc += rz * (zm + zp - 2.0 * c);
+                }
+                dst[at(z, y, x)] = c + acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> Grid {
+        Grid::new(16, 16, 6, 4.0, 4.0, 10.0).unwrap()
+    }
+
+    fn short_params() -> PebParams {
+        PebParams {
+            duration: 5.0,
+            ..PebParams::paper()
+        }
+    }
+
+    #[test]
+    fn mass_behaviour_without_reactions_or_surface_loss() {
+        // Pure diffusion with Neumann BCs everywhere conserves mass.
+        let grid = tiny_grid();
+        let mut p = short_params();
+        p.kr = 0.0;
+        p.kc = 0.0;
+        p.h_a = 0.0;
+        let solver = PebSolver::new(p, grid, TimeScheme::ImplicitLod).unwrap();
+        let mut acid0 = Tensor::zeros(&grid.shape3());
+        acid0.set(&[2, 8, 8], 1.0);
+        let out = solver.run(&acid0).unwrap();
+        assert!((out.acid.sum() - 1.0).abs() < 1e-3, "mass {}", out.acid.sum());
+        // And it spreads: the peak is no longer 1.
+        assert!(out.acid.max_value() < 0.9);
+        assert!(out.acid.min_value() >= -1e-6);
+    }
+
+    #[test]
+    fn neutralisation_consumes_acid_and_base_equally() {
+        let grid = tiny_grid();
+        let mut p = short_params();
+        p.h_a = 0.0; // isolate the reaction
+        let solver = PebSolver::new(p, grid, TimeScheme::ImplicitLod).unwrap();
+        let acid0 = Tensor::full(&grid.shape3(), 0.8);
+        let out = solver.run(&acid0).unwrap();
+        // A − B is conserved pointwise by the neutralisation.
+        let diff0 = 0.8 - p.base0;
+        let diff = out
+            .acid
+            .zip_map(&out.base, |a, b| a - b)
+            .unwrap();
+        assert!(diff.map(|d| (d - diff0).abs()).max_value() < 1e-3);
+        assert!(out.acid.max_value() < 0.8);
+        assert!(out.base.max_value() < p.base0);
+    }
+
+    #[test]
+    fn inhibitor_decays_only_where_acid_is() {
+        let grid = tiny_grid();
+        let mut p = short_params();
+        p.h_a = 0.0;
+        let solver = PebSolver::new(p, grid, TimeScheme::ImplicitLod).unwrap();
+        let mut acid0 = Tensor::zeros(&grid.shape3());
+        // Acid only in one corner column.
+        for z in 0..grid.nz {
+            acid0.set(&[z, 2, 2], 0.9);
+        }
+        let out = solver.run(&acid0).unwrap();
+        let near = out.inhibitor.get(&[2, 2, 2]);
+        let far = out.inhibitor.get(&[2, 13, 13]);
+        assert!(near < 0.9, "near {near}");
+        assert!(far > 0.98, "far {far}");
+        assert!(out.inhibitor.max_value() <= 1.0 + 1e-6);
+        assert!(out.inhibitor.min_value() >= 0.0);
+    }
+
+    #[test]
+    fn implicit_matches_explicit_at_small_dt() {
+        let grid = Grid::new(8, 8, 4, 8.0, 8.0, 20.0).unwrap();
+        let mut p = short_params();
+        p.duration = 2.0;
+        p.dt = 0.002;
+        let mut acid0 = Tensor::zeros(&grid.shape3());
+        acid0.set(&[1, 4, 4], 1.0);
+        acid0.set(&[2, 2, 5], 0.7);
+        let imp = PebSolver::new(p, grid, TimeScheme::ImplicitLod)
+            .unwrap()
+            .run(&acid0)
+            .unwrap();
+        let exp = PebSolver::new(p, grid, TimeScheme::ExplicitEuler)
+            .unwrap()
+            .run(&acid0)
+            .unwrap();
+        let d = imp.acid.max_abs_diff(&exp.acid);
+        assert!(d < 5e-3, "acid mismatch {d}");
+        let di = imp.inhibitor.max_abs_diff(&exp.inhibitor);
+        assert!(di < 5e-3, "inhibitor mismatch {di}");
+    }
+
+    #[test]
+    fn explicit_rejects_unstable_dt() {
+        let grid = Grid::new(16, 16, 8, 2.0, 2.0, 1.0).unwrap();
+        let p = PebParams::paper(); // dt = 0.1 ≫ explicit limit on 1 nm z
+        assert!(matches!(
+            PebSolver::new(p, grid, TimeScheme::ExplicitEuler),
+            Err(LithoError::Config { .. })
+        ));
+        assert!(PebSolver::new(p, grid, TimeScheme::ImplicitLod).is_ok());
+    }
+
+    #[test]
+    fn robin_surface_drives_top_toward_saturation() {
+        let grid = tiny_grid();
+        let mut p = short_params();
+        p.kr = 0.0;
+        p.kc = 0.0;
+        p.h_a = 5.0; // strong exchange to make the effect visible quickly
+        p.duration = 20.0;
+        let solver = PebSolver::new(p, grid, TimeScheme::ImplicitLod).unwrap();
+        let acid0 = Tensor::zeros(&grid.shape3());
+        let out = solver.run(&acid0).unwrap();
+        let top = out.acid.slice_axis(0, 0, 1).unwrap().mean();
+        let bottom = out.acid.slice_axis(0, grid.nz - 1, grid.nz).unwrap().mean();
+        assert!(top > 0.5, "top {top} should rise toward a_sat");
+        assert!(top > bottom, "gradient should point downward");
+    }
+
+    #[test]
+    fn diffusivities_follow_length_formula() {
+        let p = PebParams::paper();
+        let (dl, dn) = p.diffusivity_a();
+        assert!((dl - 10.0f32.powi(2) / 180.0).abs() < 1e-4);
+        assert!((dn - 70.0f32.powi(2) / 180.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rk4_conserves_difference() {
+        let (a, b) = rk4_neutralise(0.8, 0.4, 8.7, 0.05);
+        assert!(((a - b) - 0.4).abs() < 1e-6);
+        assert!(a < 0.8 && b < 0.4);
+        assert!(a > 0.0 && b > 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let grid = tiny_grid();
+        let solver =
+            PebSolver::new(short_params(), grid, TimeScheme::ImplicitLod).unwrap();
+        assert!(solver.run(&Tensor::zeros(&[2, 2, 2])).is_err());
+    }
+}

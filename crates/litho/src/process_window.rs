@@ -1,0 +1,172 @@
+//! Process-window analysis: exposure-latitude and depth-of-focus sweeps.
+//!
+//! Lithographers qualify a process by how much the printed CD moves under
+//! dose and focus perturbations. This module sweeps the rigorous flow
+//! over dose scale factors (and, through the optics model's defocus
+//! term, focus offsets) and reports per-condition mean CDs — the kind of
+//! downstream study the neural PEB solvers of the paper are meant to
+//! accelerate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LithoFlow, MaskClip, Result};
+
+/// One condition of a process-window sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessPoint {
+    /// Dose scale factor applied to the Dill exponent (1.0 = nominal).
+    pub dose_scale: f32,
+    /// Additional defocus slope (nm of σ per nm of depth) added to the
+    /// optics model (0.0 = nominal focus).
+    pub defocus_offset: f32,
+    /// Mean printed CD in x over open contacts (nm); 0 when nothing
+    /// printed.
+    pub mean_cd_x_nm: f32,
+    /// Fraction of contacts that opened.
+    pub open_fraction: f32,
+}
+
+/// Sweeps dose scale factors at nominal focus.
+///
+/// # Errors
+///
+/// Propagates simulation errors from any condition.
+pub fn dose_sweep(
+    flow: &LithoFlow,
+    clip: &MaskClip,
+    dose_scales: &[f32],
+) -> Result<Vec<ProcessPoint>> {
+    sweep(flow, clip, dose_scales.iter().map(|&d| (d, 0.0)))
+}
+
+/// Sweeps focus offsets at nominal dose.
+///
+/// # Errors
+///
+/// Propagates simulation errors from any condition.
+pub fn focus_sweep(
+    flow: &LithoFlow,
+    clip: &MaskClip,
+    defocus_offsets: &[f32],
+) -> Result<Vec<ProcessPoint>> {
+    sweep(flow, clip, defocus_offsets.iter().map(|&f| (1.0, f)))
+}
+
+fn sweep(
+    flow: &LithoFlow,
+    clip: &MaskClip,
+    conditions: impl Iterator<Item = (f32, f32)>,
+) -> Result<Vec<ProcessPoint>> {
+    let mut out = Vec::new();
+    for (dose_scale, defocus_offset) in conditions {
+        let mut f = flow.clone();
+        f.dill.c_dose *= dose_scale;
+        f.optics.defocus_slope += defocus_offset;
+        let sim = f.run(clip)?;
+        let open: Vec<_> = sim.cds.iter().filter(|c| c.open).collect();
+        let mean_cd_x_nm = if open.is_empty() {
+            0.0
+        } else {
+            open.iter().map(|c| c.cd_x_nm as f64).sum::<f64>() as f32 / open.len() as f32
+        };
+        out.push(ProcessPoint {
+            dose_scale,
+            defocus_offset,
+            mean_cd_x_nm,
+            open_fraction: open.len() as f32 / sim.cds.len().max(1) as f32,
+        });
+    }
+    Ok(out)
+}
+
+/// Exposure latitude: the relative dose range over which the mean CD
+/// stays within `±tolerance_nm` of its nominal (dose-scale-1.0) value.
+///
+/// Returns `None` when the sweep does not contain the nominal point or
+/// nothing printed there.
+pub fn exposure_latitude(points: &[ProcessPoint], tolerance_nm: f32) -> Option<f32> {
+    let nominal = points
+        .iter()
+        .find(|p| (p.dose_scale - 1.0).abs() < 1e-6 && p.mean_cd_x_nm > 0.0)?;
+    let in_spec: Vec<&ProcessPoint> = points
+        .iter()
+        .filter(|p| {
+            p.mean_cd_x_nm > 0.0
+                && (p.mean_cd_x_nm - nominal.mean_cd_x_nm).abs() <= tolerance_nm
+        })
+        .collect();
+    let lo = in_spec.iter().map(|p| p.dose_scale).fold(f32::INFINITY, f32::min);
+    let hi = in_spec
+        .iter()
+        .map(|p| p.dose_scale)
+        .fold(f32::NEG_INFINITY, f32::max);
+    (hi > lo).then_some(hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Grid, MaskConfig};
+
+    fn setup() -> (LithoFlow, MaskClip) {
+        let grid = Grid::small();
+        let mut flow = LithoFlow::new(grid);
+        flow.peb.duration = 30.0; // keep the sweep fast in tests
+        let mut cfg = MaskConfig::demo(grid.nx);
+        cfg.style = crate::ClipStyle::RegularArray;
+        cfg.fill_probability = 1.0;
+        (flow, cfg.generate(3).expect("clip"))
+    }
+
+    #[test]
+    fn cd_grows_with_dose() {
+        let (flow, clip) = setup();
+        let pts = dose_sweep(&flow, &clip, &[0.8, 1.0, 1.2]).unwrap();
+        assert_eq!(pts.len(), 3);
+        // More dose → more acid → more deprotection → larger holes.
+        let printed: Vec<&ProcessPoint> =
+            pts.iter().filter(|p| p.mean_cd_x_nm > 0.0).collect();
+        assert!(printed.len() >= 2, "{pts:?}");
+        for w in printed.windows(2) {
+            assert!(
+                w[1].mean_cd_x_nm >= w[0].mean_cd_x_nm - 1.0,
+                "CD should not shrink with dose: {pts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn underdose_closes_contacts() {
+        let (flow, clip) = setup();
+        let pts = dose_sweep(&flow, &clip, &[0.25, 1.0]).unwrap();
+        assert!(
+            pts[0].open_fraction <= pts[1].open_fraction,
+            "{pts:?}"
+        );
+    }
+
+    #[test]
+    fn defocus_changes_cd() {
+        let (flow, clip) = setup();
+        let pts = focus_sweep(&flow, &clip, &[0.0, 0.25]).unwrap();
+        // Strong defocus blurs the image; printed CD must move.
+        assert!(
+            (pts[0].mean_cd_x_nm - pts[1].mean_cd_x_nm).abs() > 0.5
+                || pts[1].open_fraction < pts[0].open_fraction,
+            "{pts:?}"
+        );
+    }
+
+    #[test]
+    fn exposure_latitude_brackets_nominal() {
+        let pts = vec![
+            ProcessPoint { dose_scale: 0.9, defocus_offset: 0.0, mean_cd_x_nm: 50.0, open_fraction: 1.0 },
+            ProcessPoint { dose_scale: 1.0, defocus_offset: 0.0, mean_cd_x_nm: 55.0, open_fraction: 1.0 },
+            ProcessPoint { dose_scale: 1.1, defocus_offset: 0.0, mean_cd_x_nm: 59.0, open_fraction: 1.0 },
+            ProcessPoint { dose_scale: 1.2, defocus_offset: 0.0, mean_cd_x_nm: 70.0, open_fraction: 1.0 },
+        ];
+        let lat = exposure_latitude(&pts, 6.0).unwrap();
+        assert!((lat - 0.2).abs() < 1e-6, "latitude {lat}");
+        assert!(exposure_latitude(&pts[3..], 6.0).is_none());
+    }
+}

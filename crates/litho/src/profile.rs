@@ -1,0 +1,38 @@
+//! Resist profile evaluation from the development front.
+
+use peb_tensor::Tensor;
+
+/// Converts an arrival-time field into a developed/remaining profile.
+///
+/// Returns a `[D, H, W]` tensor with 1.0 where the resist has been removed
+/// by time `t_dev` (i.e. `S ≤ t_dev`) and 0.0 where resist remains.
+pub fn resist_profile(arrival: &Tensor, t_dev: f32) -> Tensor {
+    arrival.map(|s| if s <= t_dev { 1.0 } else { 0.0 })
+}
+
+/// Fraction of the resist volume developed at `t_dev`.
+pub fn developed_fraction(arrival: &Tensor, t_dev: f32) -> f32 {
+    resist_profile(arrival, t_dev).mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_thresholds_arrival() {
+        let s = Tensor::from_vec(vec![1.0, 59.9, 60.0, 60.1], &[4]).unwrap();
+        let p = resist_profile(&s, 60.0);
+        assert_eq!(p.data(), &[1.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn developed_fraction_monotone_in_time() {
+        let s = Tensor::linspace(0.0, 100.0, 11);
+        let f1 = developed_fraction(&s, 10.0);
+        let f2 = developed_fraction(&s, 50.0);
+        let f3 = developed_fraction(&s, 100.0);
+        assert!(f1 < f2 && f2 < f3);
+        assert_eq!(f3, 1.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Thomas algorithm for the tridiagonal systems of the implicit diffusion
+//! sweeps.
+
+/// Solves a tridiagonal system `a[i]·x[i−1] + b[i]·x[i] + c[i]·x[i+1] =
+/// d[i]` in place; the solution is written into `d`.
+///
+/// `a[0]` and `c[n−1]` are ignored. `scratch` must have length `n` and is
+/// clobbered (callers reuse one buffer across millions of solves).
+///
+/// # Panics
+///
+/// Panics in debug builds if slice lengths disagree or a pivot vanishes
+/// (cannot happen for the diagonally dominant diffusion matrices built by
+/// the PEB solver).
+pub fn solve_tridiagonal(a: &[f32], b: &[f32], c: &[f32], d: &mut [f32], scratch: &mut [f32]) {
+    let n = d.len();
+    debug_assert!(a.len() == n && b.len() == n && c.len() == n && scratch.len() >= n);
+    if n == 0 {
+        return;
+    }
+    // Forward elimination storing the modified super-diagonal in scratch.
+    let mut beta = b[0];
+    debug_assert!(beta != 0.0, "zero pivot at row 0");
+    d[0] /= beta;
+    for i in 1..n {
+        scratch[i] = c[i - 1] / beta;
+        beta = b[i] - a[i] * scratch[i];
+        debug_assert!(beta != 0.0, "zero pivot at row {i}");
+        d[i] = (d[i] - a[i] * d[i - 1]) / beta;
+    }
+    // Back substitution.
+    for i in (0..n - 1).rev() {
+        d[i] -= scratch[i + 1] * d[i + 1];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn multiply(a: &[f32], b: &[f32], c: &[f32], x: &[f32]) -> Vec<f32> {
+        let n = x.len();
+        (0..n)
+            .map(|i| {
+                let mut v = b[i] * x[i];
+                if i > 0 {
+                    v += a[i] * x[i - 1];
+                }
+                if i + 1 < n {
+                    v += c[i] * x[i + 1];
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // Diagonally dominant 4×4.
+        let a = [0.0, -1.0, -1.0, -1.0];
+        let b = [4.0, 4.0, 4.0, 4.0];
+        let c = [-1.0, -1.0, -1.0, 0.0];
+        let x_true = [1.0, 2.0, -1.0, 0.5];
+        let mut d = multiply(&a, &b, &c, &x_true);
+        let mut scratch = vec![0.0; 4];
+        solve_tridiagonal(&a, &b, &c, &mut d, &mut scratch);
+        for (got, want) in d.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-5, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn identity_matrix_is_noop() {
+        let n = 8;
+        let a = vec![0.0; n];
+        let b = vec![1.0; n];
+        let c = vec![0.0; n];
+        let mut d: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let orig = d.clone();
+        let mut scratch = vec![0.0; n];
+        solve_tridiagonal(&a, &b, &c, &mut d, &mut scratch);
+        assert_eq!(d, orig);
+    }
+
+    #[test]
+    fn random_diagonally_dominant_roundtrip() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [1usize, 2, 3, 17, 64] {
+            let a: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..0.0)).collect();
+            let c: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..0.0)).collect();
+            let b: Vec<f32> = (0..n)
+                .map(|i| {
+                    2.5 + a.get(i).copied().unwrap_or(0.0).abs()
+                        + c.get(i).copied().unwrap_or(0.0).abs()
+                })
+                .collect();
+            let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let mut d = multiply(&a, &b, &c, &x);
+            let mut scratch = vec![0.0; n];
+            solve_tridiagonal(&a, &b, &c, &mut d, &mut scratch);
+            for (got, want) in d.iter().zip(&x) {
+                assert!((got - want).abs() < 1e-4);
+            }
+        }
+    }
+}

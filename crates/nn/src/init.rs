@@ -1,0 +1,56 @@
+//! Weight initialisation.
+
+use rand::Rng;
+
+use peb_tensor::Tensor;
+
+/// Kaiming/He uniform bound `√(6 / fan_in)` (gain for rectifier-family
+/// activations).
+pub fn kaiming_bound(fan_in: usize) -> f32 {
+    (6.0 / fan_in.max(1) as f32).sqrt()
+}
+
+/// Kaiming-uniform tensor for a weight of the given shape and fan-in.
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let b = kaiming_bound(fan_in);
+    Tensor::rand_uniform(shape, -b, b, rng)
+}
+
+/// LeCun/Xavier-style uniform bound `√(3 / fan_in)` — unit output
+/// variance for layers *not* followed by a rectifier.
+///
+/// Deep stacks of attention/SSM projections initialised with the
+/// rectifier gain (√2 per layer) blow up multiplicatively; gain-free
+/// layers use this bound instead.
+pub fn lecun_bound(fan_in: usize) -> f32 {
+    (3.0 / fan_in.max(1) as f32).sqrt()
+}
+
+/// LeCun-uniform tensor for a weight of the given shape and fan-in.
+pub fn lecun_uniform(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let b = lecun_bound(fan_in);
+    Tensor::rand_uniform(shape, -b, b, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bound_shrinks_with_fan_in() {
+        assert!(kaiming_bound(64) < kaiming_bound(4));
+        assert!(kaiming_bound(0).is_finite());
+    }
+
+    #[test]
+    fn values_respect_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = kaiming_uniform(&[32, 32], 32, &mut rng);
+        let b = kaiming_bound(32);
+        assert!(w.max_value() <= b && w.min_value() >= -b);
+        // Not degenerate.
+        assert!(w.max_value() > 0.0 && w.min_value() < 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Fully connected layer.
+
+use rand::Rng;
+
+use peb_tensor::{Tensor, Var};
+
+use crate::init::lecun_uniform;
+use crate::Parameterized;
+
+/// A dense affine map applied to the trailing feature axis.
+///
+/// Weights are stored `[in, out]`, so the forward pass is a plain
+/// `x · W (+ b)` on `[L, in]` sequences.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Var,
+    bias: Option<Var>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a layer with LeCun-uniform (variance-preserving) weights.
+    pub fn new(in_features: usize, out_features: usize, bias: bool, rng: &mut impl Rng) -> Self {
+        let weight = Var::parameter(lecun_uniform(
+            &[in_features, out_features],
+            in_features,
+            rng,
+        ));
+        let bias = bias.then(|| Var::parameter(Tensor::zeros(&[out_features])));
+        Linear {
+            weight,
+            bias,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Applies the layer to a `[L, in]` sequence, producing `[L, out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trailing axis of `x` is not `in_features`.
+    pub fn forward(&self, x: &Var) -> Var {
+        let y = x.matmul(&self.weight);
+        match &self.bias {
+            Some(b) => y.add(b),
+            None => y,
+        }
+    }
+}
+
+impl Parameterized for Linear {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_bias() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Linear::new(4, 3, true, &mut rng);
+        let x = Var::constant(Tensor::ones(&[5, 4]));
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), vec![5, 3]);
+        assert_eq!(layer.parameters().len(), 2);
+        assert_eq!(layer.parameter_count(), 4 * 3 + 3);
+        let no_bias = Linear::new(4, 3, false, &mut rng);
+        assert_eq!(no_bias.parameters().len(), 1);
+    }
+
+    #[test]
+    fn gradients_reach_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Linear::new(2, 2, true, &mut rng);
+        let x = Var::constant(Tensor::ones(&[1, 2]));
+        layer.forward(&x).sum().backward();
+        for p in layer.parameters() {
+            let g = p.grad().expect("gradient");
+            assert!(g.data().iter().any(|v| *v != 0.0) || g.len() == 2);
+        }
+    }
+
+    #[test]
+    fn zero_bias_at_init() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = Linear::new(3, 3, true, &mut rng);
+        let x = Var::constant(Tensor::zeros(&[1, 3]));
+        assert_eq!(layer.forward(&x).value().data(), &[0.0, 0.0, 0.0]);
+    }
+}

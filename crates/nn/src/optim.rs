@@ -1,0 +1,248 @@
+//! Optimisers and the paper's learning-rate schedule.
+
+use std::collections::HashMap;
+
+use peb_tensor::{Tensor, Var, VarId};
+
+/// Common optimiser interface.
+pub trait Optimizer {
+    /// Applies one update using the gradients currently stored on
+    /// `params`, then leaves the gradients untouched (call
+    /// [`Optimizer::zero_grad`] when the accumulation window ends).
+    fn step(&mut self, params: &[Var]);
+
+    /// Clears gradients on `params`.
+    fn zero_grad(&mut self, params: &[Var]) {
+        for p in params {
+            p.zero_grad();
+        }
+    }
+
+    /// Updates the learning rate (driven by a schedule).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// Plain SGD with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<VarId, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &[Var]) {
+        for p in params {
+            let Some(g) = p.grad() else { continue };
+            let update = if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(p.id())
+                    .or_insert_with(|| Tensor::zeros(g.shape()));
+                *v = v.mul_scalar(self.momentum) + g;
+                v.clone()
+            } else {
+                g
+            };
+            let new = p.value_clone() - update.mul_scalar(self.lr);
+            p.set_value(new);
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: HashMap<VarId, Tensor>,
+    v: HashMap<VarId, Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &[Var]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for p in params {
+            let Some(g) = p.grad() else { continue };
+            let m = self
+                .m
+                .entry(p.id())
+                .or_insert_with(|| Tensor::zeros(g.shape()));
+            *m = m.mul_scalar(self.beta1) + g.mul_scalar(1.0 - self.beta1);
+            let v = self
+                .v
+                .entry(p.id())
+                .or_insert_with(|| Tensor::zeros(g.shape()));
+            *v = v.mul_scalar(self.beta2)
+                + g.zip_map(&g, |a, b| a * b).expect("grad square").mul_scalar(1.0 - self.beta2);
+            let mhat = m.mul_scalar(1.0 / bc1);
+            let vhat = v.mul_scalar(1.0 / bc2);
+            let eps = self.eps;
+            let update = mhat
+                .zip_map(&vhat, |mm, vv| mm / (vv.sqrt() + eps))
+                .expect("adam update");
+            p.set_value(p.value_clone() - update.mul_scalar(self.lr));
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Step-decay schedule: `lr = base · γ^(epoch / step)`.
+///
+/// The paper trains with base 0.03, step size 100, decay factor 0.7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Epochs between decays.
+    pub step_size: usize,
+    /// Multiplicative decay per step.
+    pub gamma: f32,
+}
+
+impl StepDecay {
+    /// The paper's schedule (0.03, step 100, γ = 0.7).
+    pub fn paper() -> Self {
+        StepDecay {
+            base_lr: 0.03,
+            step_size: 100,
+            gamma: 0.7,
+        }
+    }
+
+    /// Learning rate at `epoch` (0-based).
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.base_lr * self.gamma.powi((epoch / self.step_size) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Var {
+        Var::parameter(Tensor::scalar(x0))
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let p = quadratic_param(5.0);
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..50 {
+            opt.zero_grad(std::slice::from_ref(&p));
+            let loss = p.square();
+            loss.backward();
+            opt.step(std::slice::from_ref(&p));
+        }
+        assert!(p.value().item().abs() < 0.1);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |mom: f32| {
+            let p = quadratic_param(5.0);
+            let mut opt = Sgd::new(0.02, mom);
+            for _ in 0..30 {
+                opt.zero_grad(std::slice::from_ref(&p));
+                p.square().backward();
+                opt.step(std::slice::from_ref(&p));
+            }
+            let v = p.value().item().abs();
+            v
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_descends_poorly_scaled_quadratic() {
+        // f(x, y) = x² + 100 y²; Adam's per-coordinate scaling handles the
+        // conditioning.
+        let p = Var::parameter(Tensor::from_vec(vec![3.0, 3.0], &[2]).unwrap());
+        let scale = Tensor::from_vec(vec![1.0, 100.0], &[2]).unwrap();
+        let mut opt = Adam::new(0.1);
+        for _ in 0..200 {
+            opt.zero_grad(std::slice::from_ref(&p));
+            p.square().weighted_sum(&scale).backward();
+            opt.step(std::slice::from_ref(&p));
+        }
+        assert!(p.value().data().iter().all(|v| v.abs() < 0.05), "{:?}", p.value());
+    }
+
+    #[test]
+    fn step_skips_params_without_grad() {
+        let p = quadratic_param(1.0);
+        let mut opt = Adam::new(0.1);
+        opt.step(std::slice::from_ref(&p)); // no backward happened
+        assert_eq!(p.value().item(), 1.0);
+    }
+
+    #[test]
+    fn gradient_accumulation_equals_sum() {
+        // Two backward passes before one step behave like a summed batch.
+        let p = quadratic_param(2.0);
+        let mut opt = Sgd::new(0.1, 0.0);
+        p.mul_scalar(3.0).backward();
+        p.mul_scalar(1.0).backward();
+        opt.step(std::slice::from_ref(&p));
+        // grad = 3 + 1 = 4 ⇒ new value 2 − 0.4.
+        assert!((p.value().item() - 1.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_schedule_decays() {
+        let s = StepDecay::paper();
+        assert_eq!(s.lr_at(0), 0.03);
+        assert_eq!(s.lr_at(99), 0.03);
+        assert!((s.lr_at(100) - 0.021).abs() < 1e-6);
+        assert!((s.lr_at(450) - 0.03 * 0.7f32.powi(4)).abs() < 1e-6);
+    }
+}

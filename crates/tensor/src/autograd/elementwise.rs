@@ -1,0 +1,340 @@
+//! Differentiable elementwise operations on [`Var`].
+
+use crate::elementwise::stable_sigmoid;
+use crate::Var;
+
+impl Var {
+    /// Broadcasting addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes do not broadcast.
+    pub fn add(&self, other: &Var) -> Var {
+        let out = self
+            .value()
+            .add_t(&other.value())
+            .expect("Var::add shapes");
+        let (la, lb) = (self.shape(), other.shape());
+        Var::from_op(out, vec![self.clone(), other.clone()], move |g| {
+            vec![
+                Some(g.reduce_to_shape(&la)),
+                Some(g.reduce_to_shape(&lb)),
+            ]
+        })
+    }
+
+    /// Broadcasting subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes do not broadcast.
+    pub fn sub(&self, other: &Var) -> Var {
+        let out = self
+            .value()
+            .sub_t(&other.value())
+            .expect("Var::sub shapes");
+        let (la, lb) = (self.shape(), other.shape());
+        Var::from_op(out, vec![self.clone(), other.clone()], move |g| {
+            vec![
+                Some(g.reduce_to_shape(&la)),
+                Some(g.map(|x| -x).reduce_to_shape(&lb)),
+            ]
+        })
+    }
+
+    /// Broadcasting elementwise product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes do not broadcast.
+    pub fn mul(&self, other: &Var) -> Var {
+        let out = self
+            .value()
+            .mul_t(&other.value())
+            .expect("Var::mul shapes");
+        let (la, lb) = (self.shape(), other.shape());
+        let (a, b) = (self.clone(), other.clone());
+        Var::from_op(out, vec![self.clone(), other.clone()], move |g| {
+            let ga = g
+                .mul_t(&b.value())
+                .expect("mul backward")
+                .reduce_to_shape(&la);
+            let gb = g
+                .mul_t(&a.value())
+                .expect("mul backward")
+                .reduce_to_shape(&lb);
+            vec![Some(ga), Some(gb)]
+        })
+    }
+
+    /// Broadcasting elementwise division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes do not broadcast.
+    pub fn div(&self, other: &Var) -> Var {
+        let out = self
+            .value()
+            .div_t(&other.value())
+            .expect("Var::div shapes");
+        let (la, lb) = (self.shape(), other.shape());
+        let (a, b) = (self.clone(), other.clone());
+        Var::from_op(out, vec![self.clone(), other.clone()], move |g| {
+            let bv = b.value();
+            let ga = g.div_t(&bv).expect("div backward").reduce_to_shape(&la);
+            // d/db (a/b) = -a / b².
+            let gb = g
+                .mul_t(&a.value())
+                .expect("div backward")
+                .div_t(&bv.zip_map(&bv, |x, y| x * y).expect("square"))
+                .expect("div backward")
+                .map(|x| -x)
+                .reduce_to_shape(&lb);
+            vec![Some(ga), Some(gb)]
+        })
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Var {
+        self.mul_scalar(-1.0)
+    }
+
+    /// Adds a scalar.
+    pub fn add_scalar(&self, s: f32) -> Var {
+        let out = self.value().add_scalar(s);
+        Var::from_op(out, vec![self.clone()], |g| vec![Some(g.clone())])
+    }
+
+    /// Multiplies by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Var {
+        let out = self.value().mul_scalar(s);
+        Var::from_op(out, vec![self.clone()], move |g| {
+            vec![Some(g.mul_scalar(s))]
+        })
+    }
+
+    /// Elementwise map with a user-supplied derivative.
+    ///
+    /// `f` is the function, `df` its derivative given `(x, f(x))`. The
+    /// building block for the activations below.
+    pub fn map_unary(
+        &self,
+        f: impl Fn(f32) -> f32,
+        df: impl Fn(f32, f32) -> f32 + 'static,
+    ) -> Var {
+        let x = self.value_clone();
+        let out = x.map(&f);
+        let y = out.clone();
+        Var::from_op(out, vec![self.clone()], move |g| {
+            let mut gx = g.clone();
+            for ((gv, &xv), &yv) in gx
+                .data_mut()
+                .iter_mut()
+                .zip(x.data().iter())
+                .zip(y.data().iter())
+            {
+                *gv *= df(xv, yv);
+            }
+            vec![Some(gx)]
+        })
+    }
+
+    /// Natural exponential.
+    pub fn exp(&self) -> Var {
+        self.map_unary(f32::exp, |_, y| y)
+    }
+
+    /// Natural logarithm of `x + eps` (eps guards against log(0)).
+    pub fn ln_eps(&self, eps: f32) -> Var {
+        self.map_unary(move |x| (x + eps).ln(), move |x, _| 1.0 / (x + eps))
+    }
+
+    /// Square root.
+    pub fn sqrt(&self) -> Var {
+        self.map_unary(f32::sqrt, |_, y| 0.5 / y.max(1e-12))
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Var {
+        self.map_unary(|x| x * x, |x, _| 2.0 * x)
+    }
+
+    /// `|x|^p` with the correct signed gradient `p·|x|^{p-1}·sign(x)`.
+    ///
+    /// Used by the PEB focal loss, which weights squared errors by
+    /// `|error|^γ` (Eq. 17 of the paper).
+    pub fn abs_powf(&self, p: f32) -> Var {
+        self.map_unary(
+            move |x| x.abs().powf(p),
+            move |x, _| {
+                if x == 0.0 {
+                    0.0
+                } else {
+                    p * x.abs().powf(p - 1.0) * x.signum()
+                }
+            },
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        self.map_unary(stable_sigmoid, |_, y| y * (1.0 - y))
+    }
+
+    /// SiLU (sigmoid-weighted linear unit), the activation used throughout
+    /// the SDM unit.
+    pub fn silu(&self) -> Var {
+        self.map_unary(
+            |x| x * stable_sigmoid(x),
+            |x, _| {
+                let s = stable_sigmoid(x);
+                s * (1.0 + x * (1.0 - s))
+            },
+        )
+    }
+
+    /// Softplus `ln(1 + e^x)`, used for the Δ parameter of the SSM
+    /// (Eq. 11).
+    pub fn softplus(&self) -> Var {
+        self.map_unary(
+            |x| {
+                if x > 20.0 {
+                    x
+                } else {
+                    x.exp().ln_1p()
+                }
+            },
+            |x, _| stable_sigmoid(x),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        self.map_unary(f32::tanh, |_, y| 1.0 - y * y)
+    }
+
+    /// ReLU.
+    pub fn relu(&self) -> Var {
+        self.map_unary(|x| x.max(0.0), |x, _| if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Leaky ReLU with the given negative slope (decoder activation).
+    pub fn leaky_relu(&self, slope: f32) -> Var {
+        self.map_unary(
+            move |x| if x >= 0.0 { x } else { slope * x },
+            move |x, _| if x >= 0.0 { 1.0 } else { slope },
+        )
+    }
+
+    /// GELU (tanh approximation), used by FNO blocks.
+    pub fn gelu(&self) -> Var {
+        const C: f32 = 0.797_884_6; // sqrt(2/π)
+        self.map_unary(
+            |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),
+            |x, _| {
+                let u = C * (x + 0.044715 * x * x * x);
+                let t = u.tanh();
+                let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+                0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+            },
+        )
+    }
+
+    /// Clamp with straight-through gradient inside `[lo, hi]` and zero
+    /// outside.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Var {
+        self.map_unary(
+            move |x| x.clamp(lo, hi),
+            move |x, _| if (lo..=hi).contains(&x) { 1.0 } else { 0.0 },
+        )
+    }
+
+    /// Elementwise absolute value (subgradient 0 at the kink).
+    pub fn abs(&self) -> Var {
+        self.map_unary(f32::abs, |x, _| {
+            if x == 0.0 {
+                0.0
+            } else {
+                x.signum()
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+    use crate::check_gradients;
+
+    fn param(data: Vec<f32>) -> Var {
+        let n = data.len();
+        Var::parameter(Tensor::from_vec(data, &[n]).unwrap())
+    }
+
+    #[test]
+    fn add_broadcast_gradients() {
+        let a = Var::parameter(Tensor::ones(&[2, 3]));
+        let b = Var::parameter(Tensor::ones(&[3]));
+        let y = a.add(&b).sum();
+        y.backward();
+        assert_eq!(a.grad().unwrap().shape(), &[2, 3]);
+        assert_eq!(b.grad().unwrap().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn div_gradients() {
+        let a = param(vec![6.0]);
+        let b = param(vec![2.0]);
+        let y = a.div(&b);
+        y.backward();
+        assert!((a.grad().unwrap().item() - 0.5).abs() < 1e-6);
+        assert!((b.grad().unwrap().item() + 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activations_gradcheck() {
+        let x = vec![-1.5, -0.3, 0.05, 0.4, 2.0]; // avoid the leaky_relu kink at 0
+        for (name, f) in [
+            ("silu", (|v: &Var| v.silu().sum()) as fn(&Var) -> Var),
+            ("sigmoid", |v| v.sigmoid().sum()),
+            ("softplus", |v| v.softplus().sum()),
+            ("tanh", |v| v.tanh().sum()),
+            ("gelu", |v| v.gelu().sum()),
+            ("exp", |v| v.exp().sum()),
+            ("square", |v| v.square().sum()),
+            ("leaky", |v| v.leaky_relu(0.1).sum()),
+        ] {
+            let p = param(x.clone());
+            let report = check_gradients(&p, f, 1e-2);
+            assert!(report.ok(2e-2), "{name}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn abs_powf_gradient() {
+        // |x|^3 has derivative 3 x |x|.
+        let p = param(vec![-2.0, 0.5]);
+        let y = p.abs_powf(3.0).sum();
+        y.backward();
+        let g = p.grad().unwrap();
+        assert!((g.data()[0] - (3.0 * -2.0f32 * 2.0)).abs() < 1e-4);
+        assert!((g.data()[1] - (3.0 * 0.5 * 0.5)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ln_eps_is_safe_at_zero() {
+        let p = param(vec![0.0, 1.0]);
+        let y = p.ln_eps(1e-6).sum();
+        y.backward();
+        assert!(y.value().data()[0].is_finite());
+        assert!(p.grad().unwrap().data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn clamp_gradient_masks_outside() {
+        let p = param(vec![-2.0, 0.5, 3.0]);
+        p.clamp(0.0, 1.0).sum().backward();
+        assert_eq!(p.grad().unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Broadcasting elementwise binary operations and gradient reduction.
+
+use crate::shape::{broadcast_shapes, numel, strides_for};
+use crate::{Result, Tensor};
+
+impl Tensor {
+    /// Applies a binary operation with NumPy-style broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TensorError::ShapeMismatch`] when the shapes do not
+    /// broadcast together.
+    pub fn broadcast_zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+        if self.shape() == other.shape() {
+            return self.zip_map(other, f);
+        }
+        let out_shape = broadcast_shapes(self.shape(), other.shape())?;
+        let out_strides = strides_for(&out_shape);
+        let l_strides = effective_strides(self.shape(), &out_shape);
+        let r_strides = effective_strides(other.shape(), &out_shape);
+        let n = numel(&out_shape);
+        let ld = self.data();
+        let rd = other.data();
+        let mut data = Vec::with_capacity(n);
+        // Walk output coordinates incrementally to avoid a div/mod per axis
+        // per element on the hot path.
+        let rank = out_shape.len();
+        let mut coords = vec![0usize; rank];
+        let mut li = 0usize;
+        let mut ri = 0usize;
+        for _ in 0..n {
+            data.push(f(ld[li], rd[ri]));
+            for axis in (0..rank).rev() {
+                coords[axis] += 1;
+                li += l_strides[axis];
+                ri += r_strides[axis];
+                if coords[axis] < out_shape[axis] {
+                    break;
+                }
+                coords[axis] = 0;
+                li -= l_strides[axis] * out_shape[axis];
+                ri -= r_strides[axis] * out_shape[axis];
+            }
+        }
+        let _ = out_strides;
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Sums `self` down to `target_shape`, the adjoint of broadcasting.
+    ///
+    /// Axes that were expanded by broadcasting (extent 1 in the target, or
+    /// missing leading axes) are summed out. Used by autograd to reduce an
+    /// output gradient back to each operand's shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_shape` does not broadcast to `self.shape()`.
+    pub fn reduce_to_shape(&self, target_shape: &[usize]) -> Self {
+        if self.shape() == target_shape {
+            return self.clone();
+        }
+        let src_shape = self.shape().to_vec();
+        let rank = src_shape.len();
+        assert!(
+            target_shape.len() <= rank,
+            "reduce_to_shape: target rank {} exceeds source rank {}",
+            target_shape.len(),
+            rank
+        );
+        // Left-pad the target with 1s to the source rank.
+        let mut padded = vec![1usize; rank - target_shape.len()];
+        padded.extend_from_slice(target_shape);
+        for (i, (&s, &t)) in src_shape.iter().zip(padded.iter()).enumerate() {
+            assert!(
+                t == s || t == 1,
+                "reduce_to_shape: axis {i} cannot reduce {s} -> {t}"
+            );
+        }
+        let out_n = numel(&padded);
+        let mut out = vec![0f32; out_n];
+        let src_strides = strides_for(&src_shape);
+        let dst_strides = strides_for(&padded);
+        for (flat, &v) in self.data().iter().enumerate() {
+            let mut dst = 0usize;
+            for axis in 0..rank {
+                let c = (flat / src_strides[axis]) % src_shape[axis];
+                let cc = if padded[axis] == 1 { 0 } else { c };
+                dst += cc * dst_strides[axis];
+            }
+            out[dst] += v;
+        }
+        Tensor::from_vec(out, target_shape).expect("reduce_to_shape length")
+    }
+}
+
+/// Strides to read a (possibly lower-rank) operand as if broadcast to
+/// `out_shape`: broadcast axes get stride 0.
+fn effective_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let strides = strides_for(shape);
+    let offset = out_shape.len() - shape.len();
+    let mut out = vec![0usize; out_shape.len()];
+    for i in 0..shape.len() {
+        out[offset + i] = if shape[i] == 1 { 0 } else { strides[i] };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_row_and_column() {
+        let col = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]).unwrap();
+        let row = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3]).unwrap();
+        let sum = col.broadcast_zip(&row, |a, b| a + b).unwrap();
+        assert_eq!(sum.shape(), &[2, 3]);
+        assert_eq!(sum.data(), &[11.0, 21.0, 31.0, 12.0, 22.0, 32.0]);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let s = Tensor::scalar(10.0);
+        let out = a.broadcast_zip(&s, |x, y| x * y).unwrap();
+        assert_eq!(out.data(), &[10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn broadcast_missing_leading_axis() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let out = a.broadcast_zip(&b, |x, y| x + y).unwrap();
+        assert_eq!(out.data(), &[1.0, 3.0, 5.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn reduce_to_shape_sums_broadcast_axes() {
+        let g = Tensor::ones(&[2, 3]);
+        assert_eq!(g.reduce_to_shape(&[1, 3]).data(), &[2.0, 2.0, 2.0]);
+        assert_eq!(g.reduce_to_shape(&[2, 1]).data(), &[3.0, 3.0]);
+        assert_eq!(g.reduce_to_shape(&[3]).data(), &[2.0, 2.0, 2.0]);
+        assert_eq!(g.reduce_to_shape(&[]).item(), 6.0);
+    }
+
+    #[test]
+    fn reduce_is_adjoint_of_broadcast() {
+        // <broadcast(x), g> == <x, reduce(g)> for linear broadcast.
+        let x = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]).unwrap();
+        let g = Tensor::from_vec((0..6).map(|i| i as f32 * 0.3).collect(), &[2, 3]).unwrap();
+        let bx = Tensor::zeros(&[2, 3])
+            .broadcast_zip(&x, |_, b| b)
+            .unwrap();
+        let lhs: f32 = bx
+            .data()
+            .iter()
+            .zip(g.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rg = g.reduce_to_shape(&[3]);
+        let rhs: f32 = x.data().iter().zip(rg.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+}

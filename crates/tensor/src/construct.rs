@@ -1,0 +1,91 @@
+//! Random and structured constructors.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Standard-normal random tensor (Box–Muller over the supplied RNG).
+    ///
+    /// All stochastic code in the workspace threads an explicit RNG so runs
+    /// are reproducible from a seed.
+    pub fn randn(shape: &[usize], rng: &mut impl Rng) -> Self {
+        Tensor::from_fn(shape, |_| {
+            // Box–Muller transform; avoids depending on rand_distr.
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+        })
+    }
+
+    /// Uniform random tensor on `[lo, hi)`.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
+        Tensor::from_fn(shape, |_| rng.gen_range(lo..hi))
+    }
+
+    /// 1-D tensor of `n` evenly spaced values from `start` to `end` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn linspace(start: f32, end: f32, n: usize) -> Self {
+        assert!(n >= 2, "linspace needs at least two points");
+        let step = (end - start) / (n - 1) as f32;
+        Tensor::from_fn(&[n], |i| start + step * i as f32)
+    }
+
+    /// 1-D tensor `[0, 1, …, n-1]`.
+    pub fn arange(n: usize) -> Self {
+        Tensor::from_fn(&[n], |i| i as f32)
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        Tensor::from_fn(&[n, n], |i| if i / n == i % n { 1.0 } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&[10_000], &mut rng);
+        let mean = t.data().iter().sum::<f32>() / t.len() as f32;
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn rand_uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::rand_uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let t = Tensor::linspace(0.0, 1.0, 5);
+        assert_eq!(t.data(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn eye_diagonal() {
+        let t = Tensor::eye(3);
+        assert_eq!(t.get(&[0, 0]), 1.0);
+        assert_eq!(t.get(&[1, 2]), 0.0);
+        assert_eq!(t.sum(), 3.0);
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let a = Tensor::randn(&[32], &mut StdRng::seed_from_u64(42));
+        let b = Tensor::randn(&[32], &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and shape-sensitive operations.
+///
+/// Elementwise math on well-shaped tensors is infallible; errors arise from
+/// mismatched shapes, invalid axes or inconsistent buffer lengths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The data buffer length does not match the product of the shape.
+    LengthMismatch {
+        /// Number of elements supplied.
+        len: usize,
+        /// Shape requested.
+        shape: Vec<usize>,
+    },
+    /// Two operand shapes are incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+    },
+    /// An axis index is out of range for the tensor rank.
+    AxisOutOfRange {
+        /// Offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// A slice or index range is out of bounds.
+    IndexOutOfBounds {
+        /// Description of the offending access.
+        detail: String,
+    },
+    /// Operation-specific invariant violated (e.g. non-square FFT length).
+    Invalid {
+        /// Description of the violated invariant.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, shape } => {
+                write!(f, "buffer of {len} elements cannot form shape {shape:?}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfBounds { detail } => {
+                write!(f, "index out of bounds: {detail}")
+            }
+            TensorError::Invalid { detail } => write!(f, "invalid operation: {detail}"),
+        }
+    }
+}
+
+impl Error for TensorError {}

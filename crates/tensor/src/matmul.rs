@@ -1,0 +1,150 @@
+//! Dense matrix multiplication (2-D and batched 3-D).
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// Uses a cache-friendly ikj loop order; adequate for the model sizes in
+    /// this workspace (hundreds of channels).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error unless `self` is `[m, k]` and `other` is
+    /// `[k, n]`.
+    pub fn matmul(&self, other: &Self) -> Result<Self> {
+        let (ls, rs) = (self.shape(), other.shape());
+        if ls.len() != 2 || rs.len() != 2 || ls[1] != rs[0] {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: ls.to_vec(),
+                rhs: rs.to_vec(),
+            });
+        }
+        let (m, k, n) = (ls[0], ls[1], rs[1]);
+        let mut out = vec![0f32; m * n];
+        matmul_into(self.data(), other.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix product: `[b, m, k] × [b, k, n] → [b, m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error unless both operands are rank-3 with matching
+    /// batch and inner dimensions.
+    pub fn bmm(&self, other: &Self) -> Result<Self> {
+        let (ls, rs) = (self.shape(), other.shape());
+        if ls.len() != 3 || rs.len() != 3 || ls[0] != rs[0] || ls[2] != rs[1] {
+            return Err(TensorError::ShapeMismatch {
+                op: "bmm",
+                lhs: ls.to_vec(),
+                rhs: rs.to_vec(),
+            });
+        }
+        let (b, m, k, n) = (ls[0], ls[1], ls[2], rs[2]);
+        let mut out = vec![0f32; b * m * n];
+        for bi in 0..b {
+            matmul_into(
+                &self.data()[bi * m * k..(bi + 1) * m * k],
+                &other.data()[bi * k * n..(bi + 1) * k * n],
+                &mut out[bi * m * n..(bi + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 (use [`Tensor::permute`] for
+    /// general axis permutations).
+    pub fn transpose2(&self) -> Self {
+        assert_eq!(self.rank(), 2, "transpose2 requires a matrix");
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let src = self.data();
+        let mut out = vec![0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = src[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m]).expect("transpose2 length")
+    }
+}
+
+/// `out += a[m×k] · b[k×n]` with `out` pre-zeroed by the caller.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec((0..9).map(|x| x as f32).collect(), &[3, 3]).unwrap();
+        let c = a.matmul(&Tensor::eye(3)).unwrap();
+        assert!(c.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&Tensor::zeros(&[2, 2])).is_err());
+        assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[2, 2, 3]).unwrap();
+        let b = Tensor::from_vec((0..12).map(|x| (x as f32) * 0.5).collect(), &[2, 3, 2]).unwrap();
+        let c = a.bmm(&b).unwrap();
+        for bi in 0..2 {
+            let asub =
+                Tensor::from_vec(a.data()[bi * 6..(bi + 1) * 6].to_vec(), &[2, 3]).unwrap();
+            let bsub =
+                Tensor::from_vec(b.data()[bi * 6..(bi + 1) * 6].to_vec(), &[3, 2]).unwrap();
+            let csub = asub.matmul(&bsub).unwrap();
+            assert_eq!(&c.data()[bi * 4..(bi + 1) * 4], csub.data());
+        }
+    }
+
+    #[test]
+    fn transpose2_roundtrip() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let t = a.transpose2();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.get(&[2, 1]), a.get(&[1, 2]));
+        assert!(t.transpose2().approx_eq(&a, 0.0));
+    }
+}

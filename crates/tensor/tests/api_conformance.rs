@@ -1,0 +1,71 @@
+//! API-guideline conformance checks (C-SEND-SYNC, C-DEBUG-NONEMPTY,
+//! C-COMMON-TRAITS).
+
+use peb_tensor::{Tensor, TensorError, Var};
+
+#[test]
+fn tensor_is_send_and_sync() {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+    assert_send::<Tensor>();
+    assert_sync::<Tensor>();
+    assert_send::<TensorError>();
+    assert_sync::<TensorError>();
+}
+
+#[test]
+fn debug_and_display_are_never_empty() {
+    let t = Tensor::zeros(&[0]);
+    assert!(!format!("{t:?}").is_empty());
+    assert!(!format!("{t}").is_empty());
+    let v = Var::constant(Tensor::scalar(0.0));
+    assert!(!format!("{v:?}").is_empty());
+    let e = TensorError::AxisOutOfRange { axis: 3, rank: 2 };
+    assert!(!format!("{e}").is_empty());
+    assert!(!format!("{e:?}").is_empty());
+}
+
+#[test]
+fn errors_implement_std_error() {
+    fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<TensorError>();
+}
+
+#[test]
+fn tensor_implements_common_traits() {
+    // Clone + PartialEq + Default round out the data-structure contract.
+    let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+    let b = a.clone();
+    assert_eq!(a, b);
+    let d = Tensor::default();
+    assert_eq!(d.len(), 1);
+}
+
+#[test]
+fn error_messages_are_lowercase_without_trailing_punctuation() {
+    let errors: Vec<TensorError> = vec![
+        TensorError::LengthMismatch {
+            len: 3,
+            shape: vec![2, 2],
+        },
+        TensorError::ShapeMismatch {
+            op: "test",
+            lhs: vec![1],
+            rhs: vec![2],
+        },
+        TensorError::AxisOutOfRange { axis: 5, rank: 2 },
+        TensorError::IndexOutOfBounds {
+            detail: "x".into(),
+        },
+        TensorError::Invalid { detail: "y".into() },
+    ];
+    for e in errors {
+        let msg = e.to_string();
+        let first = msg.chars().next().unwrap();
+        assert!(
+            first.is_lowercase() || !first.is_alphabetic(),
+            "message should start lowercase: {msg}"
+        );
+        assert!(!msg.ends_with('.'), "no trailing period: {msg}");
+    }
+}

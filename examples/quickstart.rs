@@ -1,0 +1,77 @@
+//! Quickstart: simulate one mask clip rigorously, train a tiny SDM-PEB on
+//! it, and compare the prediction against the rigorous inhibitor field.
+//!
+//! ```sh
+//! cargo run --release -p sdm-peb --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use peb_litho::{Grid, LithoFlow, MaskConfig};
+use sdm_peb::{
+    nrmse, rmse, LabelTransform, PebLoss, PebPredictor, SdmPeb, SdmPebConfig, TrainConfig,
+    Trainer,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Rigorous physics: mask → aerial image → photoacid → PEB bake.
+    let grid = Grid::small(); // 32×32×8 voxels, 80 nm resist
+    let clip = MaskConfig::demo(grid.nx).generate(7)?;
+    let flow = LithoFlow::new(grid);
+    println!("running rigorous simulation on clip seed {} …", clip.seed);
+    let sim = flow.run(&clip)?;
+    println!(
+        "  rigorous PEB solve took {:.2?}; {} contacts, {} opened",
+        sim.peb_elapsed,
+        sim.cds.len(),
+        sim.cds.iter().filter(|c| c.open).count()
+    );
+
+    // 2. Supervised pair in the paper's label space Y = −ln(−ln I / kc),
+    //    standardised for stable small-budget training (the benchmark
+    //    harness does the same via `peb_data::LabelStats`).
+    let label = LabelTransform::paper();
+    let raw_target = label.encode(&sim.inhibitor);
+    let (mean, std) = (raw_target.mean(), {
+        let m = raw_target.mean();
+        (raw_target.map(|v| (v - m) * (v - m)).mean()).sqrt().max(1e-6)
+    });
+    let target = raw_target.map(|v| (v - mean) / std);
+
+    // 3. A tiny SDM-PEB, trained on this one clip (overfit on purpose —
+    //    this is a smoke demo, not an experiment; see the bench harness
+    //    for the real protocol).
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = SdmPeb::new(SdmPebConfig::tiny((grid.nz, grid.ny, grid.nx)), &mut rng);
+    println!(
+        "training SDM-PEB ({} parameters) for 30 epochs …",
+        peb_nn::Parameterized::parameter_count(&model)
+    );
+    let mut cfg = TrainConfig::quick(30);
+    cfg.loss = PebLoss::paper();
+    cfg.accumulate = 1;
+    let report = Trainer::new(cfg).fit(&model, &[(sim.acid0.clone(), target.clone())]);
+    println!(
+        "  loss {:.1} → {:.1} in {:.2?}",
+        report.epoch_losses[0], report.final_loss, report.elapsed
+    );
+
+    // 4. Predict, destandardise and compare in inhibitor space.
+    let predicted = label.decode(&model.predict(&sim.acid0).map(|v| v * std + mean));
+    println!("inhibitor RMSE  : {:.4}", rmse(&predicted, &sim.inhibitor));
+    println!(
+        "inhibitor NRMSE : {:.2}%",
+        nrmse(&predicted, &sim.inhibitor) * 100.0
+    );
+
+    // 5. Push the prediction through development and compare CDs.
+    let (_, _, cds) = flow.develop(&predicted, &clip)?;
+    for (p, t) in cds.iter().zip(&sim.cds).take(3) {
+        println!(
+            "contact at {:?}: predicted CDx {:.1} nm vs rigorous {:.1} nm",
+            t.centre, p.cd_x_nm, t.cd_x_nm
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Trains SDM-PEB and the DeepCNN baseline on a small generated dataset
+//! and compares them — a miniature of the paper's Table II protocol.
+//!
+//! ```sh
+//! cargo run --release -p sdm-peb --example train_and_compare
+//! ```
+
+use peb_baselines::{DeepCnn, DeepCnnConfig};
+use peb_data::{augment_with_flips, Dataset, DatasetConfig, LabelStats};
+use peb_litho::Grid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdm_peb::{
+    nrmse, LabelTransform, PebPredictor, SdmPeb, SdmPebConfig, TrainConfig, Trainer,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A very small dataset so the example finishes in ~2 minutes.
+    let grid = Grid::small();
+    let cfg = DatasetConfig::for_grid(grid, 4, 2);
+    println!("generating 4+2 clips with the rigorous simulator…");
+    let dataset = Dataset::generate(&cfg)?;
+    let stats = LabelStats::from_dataset(&dataset);
+    let pairs: Vec<_> = augment_with_flips(&dataset.training_pairs())
+        .into_iter()
+        .map(|(a, l)| (a, stats.normalize(&l)))
+        .collect();
+    println!("training on {} augmented pairs", pairs.len());
+
+    let dims = (grid.nz, grid.ny, grid.nx);
+    let mut rng = StdRng::seed_from_u64(3);
+    let sdm = SdmPeb::new(SdmPebConfig::for_grid(dims), &mut rng);
+    let cnn = DeepCnn::new(DeepCnnConfig::for_grid(dims), &mut rng);
+
+    let label = LabelTransform::paper();
+    let trainer = Trainer::new(TrainConfig::quick(15));
+    for (name, model) in [("SDM-PEB", &sdm as &dyn PebPredictor), ("DeepCNN", &cnn)] {
+        let report = trainer.fit(model, &pairs);
+        let mut err = 0.0;
+        for s in &dataset.test {
+            let pred = label.decode(&stats.denormalize(&model.predict(&s.acid0)));
+            err += nrmse(&pred, &s.inhibitor) * 100.0;
+        }
+        println!(
+            "{name:<8}: loss {:>8.1} → {:>7.1}, test inhibitor NRMSE {:.2}% ({:.1?})",
+            report.epoch_losses[0],
+            report.final_loss,
+            err / dataset.test.len() as f32,
+            report.elapsed,
+        );
+    }
+    println!("\n(at this toy budget the ranking is noisy; run the peb-bench");
+    println!(" table2 binary for the full Table II protocol)");
+    Ok(())
+}

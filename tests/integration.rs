@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: the complete pipeline from mask
+//! generation through rigorous simulation, training, prediction,
+//! development and metrology.
+
+use peb_baselines::{DeepCnn, DeepCnnConfig, Fno, FnoConfig};
+use peb_data::{augment_with_flips, Dataset, DatasetConfig, LabelStats};
+use peb_litho::{Grid, LithoFlow, MaskConfig};
+use peb_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdm_peb::{
+    cd_error_nm, nrmse, LabelTransform, PebPredictor, SdmPeb, SdmPebConfig, TrainConfig, Trainer,
+};
+
+/// A shared micro-grid so the suite stays fast.
+fn micro_grid() -> Grid {
+    Grid::new(16, 16, 4, 8.0, 8.0, 20.0).expect("micro grid")
+}
+
+fn micro_dataset() -> Dataset {
+    let mut cfg = DatasetConfig::for_grid(micro_grid(), 2, 1);
+    cfg.seed = 501;
+    Dataset::generate(&cfg).expect("micro dataset")
+}
+
+#[test]
+fn rigorous_chain_feeds_the_learning_problem() {
+    let ds = micro_dataset();
+    // Inputs are physical photoacid fields, labels invert to inhibitors.
+    for s in ds.train.iter().chain(&ds.test) {
+        assert!(s.acid0.min_value() >= 0.0 && s.acid0.max_value() <= 1.0);
+        let decoded = LabelTransform::paper().decode(&s.label);
+        assert!(decoded.max_abs_diff(&s.inhibitor) < 1e-3);
+    }
+}
+
+#[test]
+fn sdm_peb_trains_end_to_end_on_rigorous_data() {
+    let ds = micro_dataset();
+    let stats = LabelStats::from_dataset(&ds);
+    let pairs: Vec<_> = augment_with_flips(&ds.training_pairs())
+        .into_iter()
+        .map(|(a, l)| (a, stats.normalize(&l)))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = SdmPeb::new(
+        SdmPebConfig::tiny((ds.grid.nz, ds.grid.ny, ds.grid.nx)),
+        &mut rng,
+    );
+    let mut cfg = TrainConfig::quick(6);
+    cfg.accumulate = 4;
+    let report = Trainer::new(cfg).fit(&model, &pairs);
+    assert!(
+        report.final_loss < report.epoch_losses[0],
+        "training must reduce the loss: {:?}",
+        report.epoch_losses
+    );
+    // Prediction survives the full decode → develop → metrology chain.
+    let flow = LithoFlow::new(ds.grid);
+    let sample = &ds.test[0];
+    let pred = LabelTransform::paper().decode(&stats.denormalize(&model.predict(&sample.acid0)));
+    assert!(pred.min_value() >= 0.0 && pred.max_value() <= 1.0);
+    let (_, rate, cds) = flow.develop(&pred, &sample.clip).expect("develop");
+    assert_eq!(cds.len(), sample.cds.len());
+    assert!(rate.min_value() >= flow.mack.r_min);
+    let err = cd_error_nm(&cds, &sample.cds);
+    assert!(err.x_nm.is_finite() && err.y_nm.is_finite());
+}
+
+#[test]
+fn baselines_implement_the_same_interface() {
+    let ds = micro_dataset();
+    let dims = (ds.grid.nz, ds.grid.ny, ds.grid.nx);
+    let mut rng = StdRng::seed_from_u64(1);
+    let models: Vec<Box<dyn PebPredictor>> = vec![
+        Box::new(DeepCnn::new(
+            DeepCnnConfig {
+                input_dims: dims,
+                width: 6,
+                blocks: 1,
+            },
+            &mut rng,
+        )),
+        Box::new(Fno::new(
+            FnoConfig {
+                input_dims: dims,
+                width: 4,
+                modes: (1, 2, 2),
+                layers: 1,
+            },
+            &mut rng,
+        )),
+    ];
+    for model in &models {
+        let pred = model.predict(&ds.test[0].acid0);
+        assert_eq!(pred.shape(), &ds.grid.shape3(), "{}", model.name());
+        assert!(pred.data().iter().all(|v| v.is_finite()), "{}", model.name());
+    }
+}
+
+#[test]
+fn flip_augmentation_is_physically_consistent() {
+    // Flipping a mask and re-simulating equals flipping the simulation of
+    // the original mask (up to solver tolerance) — the property that
+    // justifies the augmentation.
+    let grid = micro_grid();
+    let mut flow = LithoFlow::new(grid);
+    flow.peb.duration = 10.0; // shorten for test runtime
+    let mut mask_cfg = MaskConfig::demo(grid.nx);
+    mask_cfg.style = peb_litho::ClipStyle::RegularArray;
+    mask_cfg.fill_probability = 1.0;
+    let clip = mask_cfg.generate(77).expect("clip");
+    let sim = flow.run(&clip).expect("sim");
+    // Build the x-flipped clip explicitly.
+    let flipped_pattern = clip.pattern.flip_axis(1).expect("flip W axis of [H, W]");
+    let mut flipped_clip = clip.clone();
+    flipped_clip.pattern = flipped_pattern;
+    for c in &mut flipped_clip.contacts {
+        c.cx = grid.nx as f32 - 1.0 - c.cx;
+    }
+    let sim_flipped = flow.run(&flipped_clip).expect("sim flipped");
+    let expect = sim.inhibitor.flip_axis(2).expect("flip volume");
+    let diff = expect.max_abs_diff(&sim_flipped.inhibitor);
+    assert!(diff < 0.05, "flip equivariance violated: {diff}");
+}
+
+#[test]
+fn ablation_variants_run_through_the_full_pipeline() {
+    let ds = micro_dataset();
+    let dims = (ds.grid.nz, ds.grid.ny, ds.grid.nx);
+    for cfg in [
+        SdmPebConfig::tiny(dims).single_stage(),
+        SdmPebConfig::tiny(dims).scan_2d(),
+    ] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = SdmPeb::new(cfg, &mut rng);
+        let pred = model.predict(&ds.test[0].acid0);
+        assert_eq!(pred.shape(), &ds.grid.shape3());
+    }
+}
+
+#[test]
+fn trained_model_beats_trivial_predictor() {
+    // Even a short training run must beat predicting "mean label
+    // everywhere" on the *training* clips (sanity floor for learning).
+    let ds = micro_dataset();
+    let stats = LabelStats::from_dataset(&ds);
+    let pairs: Vec<_> = augment_with_flips(&ds.training_pairs())
+        .into_iter()
+        .map(|(a, l)| (a, stats.normalize(&l)))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = SdmPeb::new(
+        SdmPebConfig::tiny((ds.grid.nz, ds.grid.ny, ds.grid.nx)),
+        &mut rng,
+    );
+    let mut cfg = TrainConfig::quick(10);
+    cfg.accumulate = 4;
+    Trainer::new(cfg).fit(&model, &pairs);
+    let label = LabelTransform::paper();
+    let sample = &ds.train[0];
+    let pred = label.decode(&stats.denormalize(&model.predict(&sample.acid0)));
+    let trivial = label.decode(&Tensor::full(&ds.grid.shape3(), stats.mean));
+    let model_err = nrmse(&pred, &sample.inhibitor);
+    let trivial_err = nrmse(&trivial, &sample.inhibitor);
+    assert!(
+        model_err < trivial_err,
+        "model {model_err} should beat trivial {trivial_err}"
+    );
+}

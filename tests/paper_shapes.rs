@@ -1,0 +1,106 @@
+//! Structural "paper shape" tests: cheap invariants that mirror the
+//! qualitative claims of the evaluation section without running full
+//! training (those live in the `peb-bench` binaries).
+
+use peb_bench::{build_model, ModelKind, PAPER_TABLE2, PAPER_TABLE3};
+use peb_data::{value_histogram, Dataset, DatasetConfig};
+use peb_litho::Grid;
+use peb_tensor::Tensor;
+use std::time::Instant;
+
+fn dims() -> (usize, usize, usize) {
+    (4, 16, 16)
+}
+
+#[test]
+fn all_nine_table_rows_construct_and_predict() {
+    let acid = Tensor::full(&[4, 16, 16], 0.3);
+    for kind in ModelKind::TABLE2.iter().chain(ModelKind::TABLE3.iter()) {
+        let model = build_model(*kind, dims());
+        let pred = model.predict(&acid);
+        assert_eq!(pred.shape(), &[4, 16, 16], "{}", kind.label());
+    }
+}
+
+#[test]
+fn ablations_shrink_the_model_as_the_paper_describes() {
+    let full = build_model(ModelKind::SdmPeb, dims());
+    let single = build_model(ModelKind::SdmPebSingleStage, dims());
+    let scan2d = build_model(ModelKind::SdmPeb2dScan, dims());
+    assert!(single.parameter_count() < full.parameter_count());
+    assert!(scan2d.parameter_count() < full.parameter_count());
+    // Loss-only ablations keep the architecture.
+    let no_focal = build_model(ModelKind::SdmPebNoFocal, dims());
+    assert_eq!(no_focal.parameter_count(), full.parameter_count());
+}
+
+#[test]
+fn loss_ablation_kinds_toggle_the_right_terms() {
+    assert!(!ModelKind::SdmPebNoFocal.loss().use_focal);
+    assert!(ModelKind::SdmPebNoFocal.loss().use_divergence);
+    assert!(!ModelKind::SdmPebNoRegularization.loss().use_divergence);
+    assert!(ModelKind::SdmPebNoRegularization.loss().use_focal);
+    assert!(ModelKind::SdmPeb.loss().use_focal);
+}
+
+#[test]
+fn fig6_imbalance_shape_holds_on_generated_data() {
+    // The paper's Fig. 6: photoacid spreads widely; inhibitor bins span
+    // orders of magnitude with mass concentrated at the protected end.
+    let mut grid = Grid::small();
+    grid.nz = 4;
+    let mut cfg = DatasetConfig::for_grid(grid, 2, 0);
+    cfg.seed = 11;
+    let ds = Dataset::generate(&cfg).expect("dataset");
+    let inhibitor = value_histogram(ds.train.iter().map(|s| &s.inhibitor));
+    let top_bin = inhibitor[9];
+    let min_nonzero = inhibitor
+        .iter()
+        .copied()
+        .filter(|f| *f > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    // At this micro scale (dense demo contacts) the spread is smaller
+    // than the paper's orders of magnitude, but the shape — protected
+    // bins dominating the rarest mid-range bin — must hold.
+    assert!(
+        top_bin / min_nonzero > 5.0,
+        "inhibitor imbalance too small: {inhibitor:?}"
+    );
+    // Most mass sits in the protected (rightmost) bins.
+    assert!(inhibitor[8] + inhibitor[9] > 0.4, "{inhibitor:?}");
+}
+
+#[test]
+fn learned_models_are_far_faster_than_the_rigorous_solver() {
+    // The §IV runtime claim at micro scale: a forward pass beats a
+    // rigorous bake by a large factor.
+    let mut grid = Grid::small();
+    grid.nz = 4;
+    let mut cfg = DatasetConfig::for_grid(grid, 1, 0);
+    cfg.seed = 21;
+    let ds = Dataset::generate(&cfg).expect("dataset");
+    let rigorous = ds.train[0].rigorous_peb_time;
+    let model = build_model(ModelKind::SdmPeb, (grid.nz, grid.ny, grid.nx));
+    let _ = model.predict(&ds.train[0].acid0); // warm up
+    let t = Instant::now();
+    let _ = model.predict(&ds.train[0].acid0);
+    let inference = t.elapsed();
+    assert!(
+        rigorous > inference * 3,
+        "expected a clear speedup: rigorous {rigorous:?} vs inference {inference:?}"
+    );
+}
+
+#[test]
+fn paper_reference_tables_encode_the_papers_ordering() {
+    // Guards against typos in the transcribed constants.
+    assert_eq!(PAPER_TABLE2.len(), 5);
+    assert_eq!(PAPER_TABLE3.len(), 5);
+    assert_eq!(PAPER_TABLE2[4].0, "SDM-PEB");
+    // 138× claim: 147 s / 1.06 s.
+    let speedup = 147.0 / PAPER_TABLE2[4].7;
+    assert!((speedup - 138.0).abs() < 2.0);
+    // TEMPO-resist is the slowest learned model in the paper.
+    let tempo_rt = PAPER_TABLE2[1].7;
+    assert!(PAPER_TABLE2.iter().all(|r| r.7 <= tempo_rt));
+}
