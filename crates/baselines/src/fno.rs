@@ -89,11 +89,9 @@ impl SpectralConv3d {
         let xv = x.value();
         let spectra: Vec<ComplexField> = (0..self.cin)
             .map(|c| {
-                let t = Tensor::from_vec(
-                    xv.data()[c * d * h * w..(c + 1) * d * h * w].to_vec(),
-                    &vol,
-                )
-                .expect("channel slice");
+                let t =
+                    Tensor::from_vec(xv.data()[c * d * h * w..(c + 1) * d * h * w].to_vec(), &vol)
+                        .expect("channel slice");
                 fft3d(&ComplexField::from_real(&t)).expect("fft3d")
             })
             .collect();
@@ -142,8 +140,7 @@ impl SpectralConv3d {
                                     dw_re.data_mut()[widx] += gx.re;
                                     dw_im.data_mut()[widx] -= gx.im;
                                     // dX += Wᵀ G (no conjugation).
-                                    let wv =
-                                        Complex::new(wre.data()[widx], wim.data()[widx]);
+                                    let wv = Complex::new(wre.data()[widx], wim.data()[widx]);
                                     dx_spectra[ci].data_mut()[flat] += wv * gv;
                                 }
                             }
@@ -177,8 +174,7 @@ impl SpectralConv3d {
                         let flat = (fd * h + fh) * w + fw;
                         let mut acc = Complex::ZERO;
                         for (ci, spec) in spectra.iter().enumerate() {
-                            let widx =
-                                (((o * self.cin + ci) * md + id) * mh + ih) * mw + iw;
+                            let widx = (((o * self.cin + ci) * md + id) * mh + ih) * mw + iw;
                             let wv = Complex::new(wre.data()[widx], wim.data()[widx]);
                             acc += wv * spec.data()[flat];
                         }

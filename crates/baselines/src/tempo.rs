@@ -233,11 +233,7 @@ impl TempoDiscriminator {
     /// (for the generator's adversarial term).
     pub fn forward_generated(&self, acid_plane: &Tensor, label_plane: &Var) -> Var {
         let (h, w) = (acid_plane.shape()[0], acid_plane.shape()[1]);
-        let acid = Var::constant(
-            acid_plane
-                .reshape(&[1, h, w])
-                .expect("acid plane reshape"),
-        );
+        let acid = Var::constant(acid_plane.reshape(&[1, h, w]).expect("acid plane reshape"));
         let lab = label_plane.reshape(&[1, h, w]);
         let x = Var::concat(&[&acid, &lab], 0);
         let f = self.d1.forward(&x).leaky_relu(0.2);

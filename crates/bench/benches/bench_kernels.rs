@@ -8,6 +8,7 @@ use rand::SeedableRng;
 
 use peb_fft::{convolve2d_periodic, fft2d, ComplexField};
 use peb_nn::Conv2d;
+use peb_tensor::kernels::{matmul_blocked, matmul_naive};
 use peb_tensor::{Tensor, Var};
 
 fn bench_matmul(c: &mut Criterion) {
@@ -24,16 +25,68 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_matmul_kernels(c: &mut Criterion) {
+    // Blocked-vs-naive single-thread GEMM: isolates the cache-blocking
+    // win from the threading win.
+    let mut group = c.benchmark_group("matmul_kernel");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(6);
+    for n in [64usize, 128, 256, 512] {
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        let mut out = vec![0f32; n * n];
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| {
+                out.fill(0.0);
+                matmul_naive(a.data(), b.data(), &mut out, n, n, n);
+                std::hint::black_box(out[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| {
+                out.fill(0.0);
+                matmul_blocked(a.data(), b.data(), &mut out, n, n, n);
+                std::hint::black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul_threads(c: &mut Criterion) {
+    // Thread scaling of the full parallel GEMM path.
+    let mut group = c.benchmark_group("matmul_threads");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 256usize;
+    let a = Tensor::randn(&[n, n], &mut rng);
+    let b = Tensor::randn(&[n, n], &mut rng);
+    let many = peb_par::max_threads().max(2);
+    for threads in [1usize, many] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |bench, &t| {
+                bench.iter(|| {
+                    peb_par::with_thread_count(t, || std::hint::black_box(a.matmul(&b).unwrap()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_conv2d(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv2d_forward");
     group.sample_size(20);
     let mut rng = StdRng::seed_from_u64(2);
-    for (label, cin, cout, hw) in [("8x8x32", 8usize, 8usize, 32usize), ("16x16x64", 16, 16, 64)] {
+    for (label, cin, cout, hw) in [
+        ("8x8x32", 8usize, 8usize, 32usize),
+        ("16x16x64", 16, 16, 64),
+    ] {
         let conv = Conv2d::new(cin, cout, 3, 1, 1, true, &mut rng);
         let x = Var::constant(Tensor::randn(&[cin, hw, hw], &mut rng));
-        group.bench_function(label, |b| {
-            b.iter(|| std::hint::black_box(conv.forward(&x)))
-        });
+        group.bench_function(label, |b| b.iter(|| std::hint::black_box(conv.forward(&x))));
     }
     group.finish();
 }
@@ -94,6 +147,8 @@ fn bench_backward_pass(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_matmul_kernels,
+    bench_matmul_threads,
     bench_conv2d,
     bench_fft,
     bench_periodic_convolution,

@@ -49,9 +49,7 @@ fn bench_eikonal(c: &mut Criterion) {
     });
     group.bench_function("fast_iterative_32x32x8", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                solve_eikonal_fim(&grid, &rate, EikonalConfig::default()).unwrap(),
-            )
+            std::hint::black_box(solve_eikonal_fim(&grid, &rate, EikonalConfig::default()).unwrap())
         })
     });
     group.finish();

@@ -28,15 +28,11 @@ fn bench_selective_scan(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(l), &l, |bench, _| {
             bench.iter(|| std::hint::black_box(selective_scan(&u, &delta, &a, &b, &cc, &d)))
         });
-        group.bench_with_input(
-            BenchmarkId::new("chunked_64", l),
-            &l,
-            |bench, _| {
-                bench.iter(|| {
-                    std::hint::black_box(selective_scan_chunked(&u, &delta, &a, &b, &cc, &d, 64))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("chunked_64", l), &l, |bench, _| {
+            bench.iter(|| {
+                std::hint::black_box(selective_scan_chunked(&u, &delta, &a, &b, &cc, &d, 64))
+            })
+        });
     }
     group.finish();
 }

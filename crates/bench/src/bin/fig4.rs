@@ -40,8 +40,9 @@ fn main() {
     let x = clip.contacts[0].cx.round() as usize;
     let depth: Vec<f32> = (0..grid.nz).map(|k| grid.depth_of(k)).collect();
     let acid_profile: Vec<f32> = (0..grid.nz).map(|k| sim.acid0.get(&[k, y, x])).collect();
-    let inhibitor_profile: Vec<f32> =
-        (0..grid.nz).map(|k| sim.inhibitor.get(&[k, y, x])).collect();
+    let inhibitor_profile: Vec<f32> = (0..grid.nz)
+        .map(|k| sim.inhibitor.get(&[k, y, x]))
+        .collect();
     write_csv(
         &[
             ("depth_nm", depth),

@@ -2,9 +2,7 @@
 //! directions) in 0–1 / 1–2 / 2–3 / 3–4 / >4 nm buckets, for every
 //! Table II method.
 
-use peb_bench::{
-    evaluate_model, prepare_dataset, prepare_flow, train_models, ModelKind,
-};
+use peb_bench::{evaluate_model, prepare_dataset, prepare_flow, train_models, ModelKind};
 use peb_data::ExperimentScale;
 use sdm_peb::CD_BUCKET_LABELS;
 
@@ -20,10 +18,7 @@ fn main() {
         .map(|t| evaluate_model(t.model.as_ref(), &dataset, &flow))
         .collect();
 
-    for (axis, pick) in [
-        ("(a) x direction", 0usize),
-        ("(b) y direction", 1usize),
-    ] {
+    for (axis, pick) in [("(a) x direction", 0usize), ("(b) y direction", 1usize)] {
         println!("\n== Fig. 7{axis}: CD-error bucket percentages ==");
         print!("{:<14}", "Method");
         for label in CD_BUCKET_LABELS {
@@ -31,7 +26,11 @@ fn main() {
         }
         println!(" (nm)");
         for row in &rows {
-            let hist = if pick == 0 { row.cd_hist.0 } else { row.cd_hist.1 };
+            let hist = if pick == 0 {
+                row.cd_hist.0
+            } else {
+                row.cd_hist.1
+            };
             print!("{:<14}", row.name);
             for v in hist {
                 print!(" {v:>6.1}%");
@@ -43,10 +42,7 @@ fn main() {
     // Shape check: the paper reports SDM-PEB's errors concentrated in the
     // 0–1 nm bucket more than every baseline.
     let sdm = rows.last().expect("five rows");
-    let best_bucket0 = rows
-        .iter()
-        .map(|r| r.cd_hist.0[0])
-        .fold(0.0f32, f32::max);
+    let best_bucket0 = rows.iter().map(|r| r.cd_hist.0[0]).fold(0.0f32, f32::max);
     println!(
         "\n[shape] SDM-PEB 0–1 nm share (x): {:.1}% — max across methods: {:.1}%{}",
         sdm.cd_hist.0[0],

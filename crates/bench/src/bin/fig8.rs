@@ -5,8 +5,8 @@
 
 use std::path::PathBuf;
 
-use peb_bench::{prepare_dataset, prepare_flow, train_models, ModelKind};
 use peb_bench::viz::write_pgm;
+use peb_bench::{prepare_dataset, prepare_flow, train_models, ModelKind};
 use peb_data::ExperimentScale;
 use peb_tensor::Tensor;
 
@@ -41,10 +41,14 @@ fn main() {
         let gt = plane(truth, layer);
         let pr = plane(&pred, layer);
         let diff = &pr - &gt;
-        write_pgm(&gt, 0.0, 1.0, &out.join(format!("fig8_{surface}_truth.pgm")))
-            .expect("pgm");
-        write_pgm(&pr, 0.0, 1.0, &out.join(format!("fig8_{surface}_pred.pgm")))
-            .expect("pgm");
+        write_pgm(
+            &gt,
+            0.0,
+            1.0,
+            &out.join(format!("fig8_{surface}_truth.pgm")),
+        )
+        .expect("pgm");
+        write_pgm(&pr, 0.0, 1.0, &out.join(format!("fig8_{surface}_pred.pgm"))).expect("pgm");
         write_pgm(
             &diff,
             -0.1,
@@ -53,12 +57,8 @@ fn main() {
         )
         .expect("pgm");
         let max_abs = diff.abs_t().max_value();
-        let within = diff
-            .data()
-            .iter()
-            .filter(|v| v.abs() <= 0.1)
-            .count() as f32
-            / diff.len() as f32;
+        let within =
+            diff.data().iter().filter(|v| v.abs() <= 0.1).count() as f32 / diff.len() as f32;
         println!(
             "{surface:>6} surface: max |diff| = {max_abs:.3}, {:.1}% of pixels within ±0.1 \
              (paper: 'absolute errors across most positions … within 0.1')",

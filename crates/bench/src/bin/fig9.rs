@@ -38,9 +38,7 @@ fn main() {
         .clip
         .contacts
         .iter()
-        .min_by(|a, b| {
-            (a.cy.powi(2) + a.cx.powi(2)).total_cmp(&(b.cy.powi(2) + b.cx.powi(2)))
-        })
+        .min_by(|a, b| (a.cy.powi(2) + a.cx.powi(2)).total_cmp(&(b.cy.powi(2) + b.cx.powi(2))))
         .expect("contacts");
 
     let out = PathBuf::from("target/figures");

@@ -37,17 +37,28 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--size" => args.size = value("--size")?.parse().map_err(|e| format!("--size: {e}"))?,
-            "--depth" => {
-                args.depth = value("--depth")?.parse().map_err(|e| format!("--depth: {e}"))?
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
             }
-            "--dose" => args.dose = value("--dose")?.parse().map_err(|e| format!("--dose: {e}"))?,
+            "--size" => {
+                args.size = value("--size")?
+                    .parse()
+                    .map_err(|e| format!("--size: {e}"))?
+            }
+            "--depth" => {
+                args.depth = value("--depth")?
+                    .parse()
+                    .map_err(|e| format!("--depth: {e}"))?
+            }
+            "--dose" => {
+                args.dose = value("--dose")?
+                    .parse()
+                    .map_err(|e| format!("--dose: {e}"))?
+            }
             "--style" => {
                 args.style = match value("--style")?.as_str() {
                     "regular" => ClipStyle::RegularArray,

@@ -18,8 +18,14 @@ fn main() {
         "  Lateral diffusion length L_L,A, L_L,B   {:>6.0}, {:>4.0} nm",
         peb.lateral_diff_len_a, peb.lateral_diff_len_b
     );
-    println!("  catalysis coefficient    kc             {:>6.2} /s", peb.kc);
-    println!("  reaction coefficient     kr             {:>6.4} /s", peb.kr);
+    println!(
+        "  catalysis coefficient    kc             {:>6.2} /s",
+        peb.kc
+    );
+    println!(
+        "  reaction coefficient     kr             {:>6.4} /s",
+        peb.kr
+    );
     println!(
         "  transfer coefficient     hA, hB         {:>6.3}, {:>4.1}",
         peb.h_a, peb.h_b
@@ -28,16 +34,40 @@ fn main() {
         "  saturation concentration [A]sat, [B]sat {:>6.1}, {:>4.1}",
         peb.a_sat, peb.b_sat
     );
-    println!("  [I](t=0)                                {:>6.1}", peb.inhibitor0);
-    println!("  [B](t=0)                                {:>6.1}", peb.base0);
-    println!("  Baseline time step                      {:>6.1} s", peb.dt);
-    println!("  Duration                                {:>6.1} s", peb.duration);
+    println!(
+        "  [I](t=0)                                {:>6.1}",
+        peb.inhibitor0
+    );
+    println!(
+        "  [B](t=0)                                {:>6.1}",
+        peb.base0
+    );
+    println!(
+        "  Baseline time step                      {:>6.1} s",
+        peb.dt
+    );
+    println!(
+        "  Duration                                {:>6.1} s",
+        peb.duration
+    );
     println!("\nDevelop");
-    println!("  Rmax                                    {:>6.1} nm/s", mack.r_max);
-    println!("  Rmin                                    {:>6.4} nm/s", mack.r_min);
-    println!("  Mth                                     {:>6.1}", mack.m_th);
+    println!(
+        "  Rmax                                    {:>6.1} nm/s",
+        mack.r_max
+    );
+    println!(
+        "  Rmin                                    {:>6.4} nm/s",
+        mack.r_min
+    );
+    println!(
+        "  Mth                                     {:>6.1}",
+        mack.m_th
+    );
     println!("  n                                       {:>6.0}", mack.n);
-    println!("  Duration                                {:>6.1} s", mack.duration);
+    println!(
+        "  Duration                                {:>6.1} s",
+        mack.duration
+    );
 
     // Derived quantities the solver actually integrates with.
     let (dl_a, dn_a) = peb.diffusivity_a();

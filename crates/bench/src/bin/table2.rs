@@ -31,9 +31,7 @@ fn main() {
         "Method", "I-RMSEe3", "I-NRMSE%", "R-RMSE", "R-NRMSE%", "CDx", "CDy", "RT/s"
     );
     for (name, a, b, c, d, e, f, g) in PAPER_TABLE2 {
-        println!(
-            "{name:<22} {a:>9.2} {b:>9.2} {c:>9.3} {d:>9.2} {e:>7.2} {f:>7.2} {g:>8.2}"
-        );
+        println!("{name:<22} {a:>9.2} {b:>9.2} {c:>9.3} {d:>9.2} {e:>7.2} {f:>7.2} {g:>8.2}");
     }
 
     println!();

@@ -5,7 +5,9 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use peb_baselines::{DeePeb, DeePebConfig, DeepCnn, DeepCnnConfig, Fno, FnoConfig, TempoResist, TempoResistConfig};
+use peb_baselines::{
+    DeePeb, DeePebConfig, DeepCnn, DeepCnnConfig, Fno, FnoConfig, TempoResist, TempoResistConfig,
+};
 use peb_data::Dataset;
 use sdm_peb::{PebLoss, PebPredictor, SdmPeb, SdmPebConfig, TrainConfig, Trainer};
 

@@ -129,11 +129,7 @@ mod tests {
         let dir = std::env::temp_dir().join("peb_viz_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.csv");
-        write_csv(
-            &[("a", vec![1.0, 2.0]), ("b", vec![3.0, 4.0])],
-            &path,
-        )
-        .unwrap();
+        write_csv(&[("a", vec![1.0, 2.0]), ("b", vec![3.0, 4.0])], &path).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "a,b\n1,3\n2,4\n");
         std::fs::remove_file(&path).ok();

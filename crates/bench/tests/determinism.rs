@@ -1,0 +1,120 @@
+//! Bitwise determinism of every parallelised hot path.
+//!
+//! The `peb-par` contract: work is split at fixed, thread-count-independent
+//! chunk boundaries and cross-chunk reductions combine in ascending chunk
+//! order, so `PEB_THREADS=1` and `PEB_THREADS=4` must produce *identical
+//! bits* — not merely close values. These tests drive each parallel kernel
+//! at both thread counts through `peb_par::with_thread_count` and compare
+//! exact bit patterns.
+
+use peb_litho::{Grid, PebParams, PebSolver, TimeScheme};
+use peb_mamba::{selective_scan, selective_scan_chunked};
+use peb_nn::{Conv2d, Parameterized};
+use peb_tensor::{Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bit mismatch at flat index {i}: {x} vs {y}"
+        );
+    }
+}
+
+fn at_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    peb_par::with_thread_count(threads, f)
+}
+
+#[test]
+fn matmul_is_bitwise_deterministic_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    let a = Tensor::randn(&[150, 70], &mut rng);
+    let b = Tensor::randn(&[70, 90], &mut rng);
+    let one = at_threads(1, || a.matmul(&b).unwrap());
+    let four = at_threads(4, || a.matmul(&b).unwrap());
+    assert_bits_eq(&one, &four, "matmul");
+    let ab = Tensor::randn(&[3, 20, 16], &mut rng);
+    let bb = Tensor::randn(&[3, 16, 24], &mut rng);
+    let one = at_threads(1, || ab.bmm(&bb).unwrap());
+    let four = at_threads(4, || ab.bmm(&bb).unwrap());
+    assert_bits_eq(&one, &four, "bmm");
+}
+
+#[test]
+fn conv_forward_and_backward_are_bitwise_deterministic() {
+    let mut rng = StdRng::seed_from_u64(1002);
+    let conv = Conv2d::new(4, 6, 3, 1, 1, true, &mut rng);
+    let x0 = Tensor::randn(&[4, 16, 16], &mut rng);
+    let run = || {
+        let x = Var::parameter(x0.clone());
+        let y = conv.forward(&x);
+        conv.parameters().iter().for_each(|p| p.zero_grad());
+        y.square().sum().backward();
+        (y.value_clone(), x.grad().unwrap())
+    };
+    let (y1, g1) = at_threads(1, run);
+    let (y4, g4) = at_threads(4, run);
+    assert_bits_eq(&y1, &y4, "conv2d forward");
+    assert_bits_eq(&g1, &g4, "conv2d input grad");
+}
+
+#[test]
+fn peb_adi_step_is_bitwise_deterministic() {
+    let grid = Grid::new(16, 16, 6, 4.0, 4.0, 10.0).unwrap();
+    let params = PebParams {
+        duration: 5.0,
+        ..PebParams::paper()
+    };
+    let solver = PebSolver::new(params, grid, TimeScheme::ImplicitLod).unwrap();
+    let mut rng = StdRng::seed_from_u64(1003);
+    let acid0 = Tensor::rand_uniform(&grid.shape3(), 0.0, 1.0, &mut rng);
+    let one = at_threads(1, || solver.run(&acid0).unwrap());
+    let four = at_threads(4, || solver.run(&acid0).unwrap());
+    assert_bits_eq(&one.acid, &four.acid, "PEB acid");
+    assert_bits_eq(&one.inhibitor, &four.inhibitor, "PEB inhibitor");
+}
+
+#[test]
+fn selective_scan_is_bitwise_deterministic() {
+    let (l, ch, n) = (24usize, 10usize, 4usize);
+    let mut rng = StdRng::seed_from_u64(1004);
+    let u0 = Tensor::randn(&[l, ch], &mut rng);
+    let delta = Var::constant(Tensor::rand_uniform(&[l, ch], 0.05, 0.5, &mut rng));
+    let a = Var::constant(Tensor::rand_uniform(&[ch, n], -1.5, -0.2, &mut rng));
+    let b = Var::constant(Tensor::randn(&[l, n], &mut rng));
+    let c = Var::constant(Tensor::randn(&[l, n], &mut rng));
+    let d = Var::constant(Tensor::randn(&[ch], &mut rng));
+    let run = || {
+        let u = Var::parameter(u0.clone());
+        let y = selective_scan(&u, &delta, &a, &b, &c, &d);
+        y.square().sum().backward();
+        (y.value_clone(), u.grad().unwrap())
+    };
+    let (y1, g1) = at_threads(1, run);
+    let (y4, g4) = at_threads(4, run);
+    assert_bits_eq(&y1, &y4, "selective_scan forward");
+    assert_bits_eq(&g1, &g4, "selective_scan input grad");
+    let chunked = |threads| {
+        at_threads(threads, || {
+            selective_scan_chunked(&Var::constant(u0.clone()), &delta, &a, &b, &c, &d, 8)
+                .value_clone()
+        })
+    };
+    assert_bits_eq(&chunked(1), &chunked(4), "selective_scan_chunked");
+}
+
+#[test]
+fn fft_is_bitwise_deterministic() {
+    let mut rng = StdRng::seed_from_u64(1005);
+    let f = peb_fft::ComplexField::from_real(&Tensor::randn(&[32, 32], &mut rng));
+    let one = at_threads(1, || peb_fft::fft2d(&f).unwrap());
+    let four = at_threads(4, || peb_fft::fft2d(&f).unwrap());
+    for (i, (x, y)) in one.data().iter().zip(four.data()).enumerate() {
+        assert_eq!(x.re.to_bits(), y.re.to_bits(), "fft2d re at {i}");
+        assert_eq!(x.im.to_bits(), y.im.to_bits(), "fft2d im at {i}");
+    }
+}

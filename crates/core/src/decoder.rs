@@ -37,7 +37,12 @@ impl Decoder {
     /// # Panics
     ///
     /// Panics if `factor` is not a nonzero power of two.
-    pub fn new(in_channels: usize, factor: usize, skip_channels: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        in_channels: usize,
+        factor: usize,
+        skip_channels: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         assert!(
             factor > 0 && factor & (factor - 1) == 0,
             "decoder factor {factor} must be a power of two"
@@ -103,7 +108,9 @@ impl Decoder {
                 let sk = skip.slice_axis(1, k, k + 1).reshape(&[ss[0], ss[2], ss[3]]);
                 plane = Var::concat(&[&plane, &sk], 0);
             }
-            let out = self.head.forward(&self.head_mid.forward(&plane).leaky_relu(0.01));
+            let out = self
+                .head
+                .forward(&self.head_mid.forward(&plane).leaky_relu(0.01));
             let ps = out.shape();
             planes.push(out.reshape(&[1, ps[1], ps[2]]));
         }
@@ -136,7 +143,10 @@ mod tests {
         let skip = Var::constant(Tensor::randn(&[1, 3, 16, 16], &mut rng));
         let y = dec.forward(&x, Some(&skip));
         assert_eq!(y.shape(), vec![3, 16, 16]);
-        assert!(dec.layers.len() + 1 >= 3, "paper uses three transpose convs");
+        assert!(
+            dec.layers.len() + 1 >= 3,
+            "paper uses three transpose convs"
+        );
     }
 
     #[test]

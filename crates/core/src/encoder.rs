@@ -9,9 +9,7 @@
 use rand::Rng;
 
 use peb_mamba::{SdmUnit, SdmUnitConfig};
-use peb_nn::{
-    EfficientSelfAttention, LayerNorm, Mlp, OverlappedPatchEmbed, Parameterized,
-};
+use peb_nn::{EfficientSelfAttention, LayerNorm, Mlp, OverlappedPatchEmbed, Parameterized};
 use peb_tensor::Var;
 
 /// Configuration of one encoder stage.

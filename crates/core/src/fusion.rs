@@ -23,8 +23,16 @@ impl FeatureFusion {
     /// # Panics
     ///
     /// Panics if `stage_channels` is empty.
-    pub fn new(stage_channels: &[usize], fusion_dim: usize, mlp_hidden: usize, rng: &mut impl Rng) -> Self {
-        assert!(!stage_channels.is_empty(), "fusion needs at least one stage");
+    pub fn new(
+        stage_channels: &[usize],
+        fusion_dim: usize,
+        mlp_hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(
+            !stage_channels.is_empty(),
+            "fusion needs at least one stage"
+        );
         let projections = stage_channels
             .iter()
             .map(|&c| Linear::new(c, fusion_dim, true, rng))

@@ -47,9 +47,7 @@ pub use encoder::{EncoderStage, EncoderStageConfig};
 pub use fusion::FeatureFusion;
 pub use label::LabelTransform;
 pub use loss::{LossBreakdown, PebLoss, Reduction};
-pub use metrics::{
-    cd_error_nm, cd_histogram, nrmse, rmse, CdErrorStats, CD_BUCKET_LABELS,
-};
+pub use metrics::{cd_error_nm, cd_histogram, nrmse, rmse, CdErrorStats, CD_BUCKET_LABELS};
 pub use model::{SdmPeb, SdmPebConfig};
 pub use solver::PebPredictor;
 pub use train::{TrainConfig, TrainReport, Trainer};

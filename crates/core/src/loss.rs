@@ -113,7 +113,11 @@ impl PebLoss {
         let shape = pred.shape();
         assert_eq!(shape.len(), 3, "depth divergence expects [D, H, W]");
         assert!(shape[0] >= 2, "need at least two depth layers");
-        assert_eq!(shape.as_slice(), target.shape(), "pred/target shape mismatch");
+        assert_eq!(
+            shape.as_slice(),
+            target.shape(),
+            "pred/target shape mismatch"
+        );
         let (d, h, w) = (shape[0], shape[1], shape[2]);
         // ΔŶ_d = Ŷ_{d+1} − Ŷ_d, flattened to [D−1, H·W].
         let upper = pred.slice_axis(0, 1, d);
@@ -186,7 +190,11 @@ impl PebLoss {
             focal,
             divergence,
             total: if self.use_max_se { max_se } else { 0.0 }
-                + if self.use_focal { self.alpha * focal } else { 0.0 }
+                + if self.use_focal {
+                    self.alpha * focal
+                } else {
+                    0.0
+                }
                 + if self.use_divergence {
                     self.beta * divergence
                 } else {
@@ -222,7 +230,11 @@ mod tests {
         let b = loss.breakdown(&target, &target);
         assert!(b.max_se.abs() < 1e-6);
         assert!(b.focal.abs() < 1e-6);
-        assert!(b.divergence.abs() < 1e-4, "KL(p‖p) = 0, got {}", b.divergence);
+        assert!(
+            b.divergence.abs() < 1e-4,
+            "KL(p‖p) = 0, got {}",
+            b.divergence
+        );
         assert!(b.total.abs() < 1e-4);
     }
 
@@ -233,10 +245,7 @@ mod tests {
         pred.set(&[1, 0, 1], 0.5);
         pred.set(&[0, 1, 1], -0.2);
         let loss = PebLoss::paper();
-        let v = loss
-            .max_se(&Var::constant(pred), &target)
-            .value()
-            .item();
+        let v = loss.max_se(&Var::constant(pred), &target).value().item();
         assert!((v - 0.25).abs() < 1e-6);
     }
 
@@ -273,7 +282,10 @@ mod tests {
             .depth_divergence(&Var::constant(shifted), &target)
             .value()
             .item();
-        assert!(v2.abs() < 1e-4, "uniform shift should not change Δ maps: {v2}");
+        assert!(
+            v2.abs() < 1e-4,
+            "uniform shift should not change Δ maps: {v2}"
+        );
     }
 
     #[test]
@@ -320,7 +332,10 @@ mod tests {
         let pred = Tensor::ones(&[1, 2, 2]);
         let mut loss = PebLoss::paper();
         loss.reduction = Reduction::Sum;
-        let s = loss.focal(&Var::constant(pred.clone()), &target).value().item();
+        let s = loss
+            .focal(&Var::constant(pred.clone()), &target)
+            .value()
+            .item();
         loss.reduction = Reduction::Mean;
         let m = loss.focal(&Var::constant(pred), &target).value().item();
         assert!((s - 4.0 * m).abs() < 1e-5);

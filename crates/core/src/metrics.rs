@@ -149,8 +149,16 @@ mod tests {
 
     #[test]
     fn cd_error_rms_over_open_contacts() {
-        let truth = vec![cd(60.0, 60.0, true), cd(62.0, 58.0, true), cd(0.0, 0.0, false)];
-        let pred = vec![cd(61.0, 60.0, true), cd(59.0, 58.0, true), cd(50.0, 50.0, true)];
+        let truth = vec![
+            cd(60.0, 60.0, true),
+            cd(62.0, 58.0, true),
+            cd(0.0, 0.0, false),
+        ];
+        let pred = vec![
+            cd(61.0, 60.0, true),
+            cd(59.0, 58.0, true),
+            cd(50.0, 50.0, true),
+        ];
         let stats = cd_error_nm(&pred, &truth);
         assert_eq!(stats.count, 2);
         // x errors: 1, −3 → RMS √5; y errors: 0, 0.

@@ -167,8 +167,16 @@ impl SdmPebConfig {
         let (_, h, w) = self.input_dims;
         let mut hh = h;
         let mut ww = w;
-        for (i, &s) in self.patch_strides.iter().take(self.stage_count()).enumerate() {
-            assert!(hh % s == 0 && ww % s == 0, "stride {s} does not divide stage {i} input");
+        for (i, &s) in self
+            .patch_strides
+            .iter()
+            .take(self.stage_count())
+            .enumerate()
+        {
+            assert!(
+                hh % s == 0 && ww % s == 0,
+                "stride {s} does not divide stage {i} input"
+            );
             hh /= s;
             ww /= s;
             assert!(
@@ -255,9 +263,7 @@ impl SdmPeb {
     pub fn forward(&self, acid: &Tensor) -> Var {
         let (d, h, w) = self.config.input_dims;
         assert_eq!(acid.shape(), [d, h, w], "input dims mismatch");
-        let input = Var::constant(
-            acid.reshape(&[1, d, h, w]).expect("input reshape"),
-        );
+        let input = Var::constant(acid.reshape(&[1, d, h, w]).expect("input reshape"));
         let x = self.stem.forward(&input);
         let skip = Var::concat(&[&x, &input], 0);
         let mut features = Vec::with_capacity(self.stages.len());
@@ -382,10 +388,7 @@ mod overlap_tests {
         let mut rng = StdRng::seed_from_u64(120);
         let acid = Tensor::rand_uniform(&[2, 16, 16], 0.0, 0.9, &mut rng);
         let over = SdmPeb::new(SdmPebConfig::tiny((2, 16, 16)), &mut rng);
-        let non = SdmPeb::new(
-            SdmPebConfig::tiny((2, 16, 16)).non_overlapped(),
-            &mut rng,
-        );
+        let non = SdmPeb::new(SdmPebConfig::tiny((2, 16, 16)).non_overlapped(), &mut rng);
         let yo = over.forward(&acid);
         let yn = non.forward(&acid);
         assert_eq!(yo.shape(), yn.shape());

@@ -54,8 +54,7 @@ mod tests {
 
     #[test]
     fn trait_is_object_safe() {
-        let boxed: Box<dyn PebPredictor> =
-            Box::new(Constant(Var::parameter(Tensor::scalar(0.0))));
+        let boxed: Box<dyn PebPredictor> = Box::new(Constant(Var::parameter(Tensor::scalar(0.0))));
         assert_eq!(boxed.parameters().len(), 1);
     }
 }

@@ -148,7 +148,11 @@ impl Trainer {
         let mut total = 0f64;
         for p in params {
             if let Some(g) = p.grad() {
-                total += g.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+                total += g
+                    .data()
+                    .iter()
+                    .map(|&v| (v as f64) * (v as f64))
+                    .sum::<f64>();
             }
         }
         let norm = total.sqrt() as f32;
@@ -265,7 +269,11 @@ mod failure_injection_tests {
         let mut total = 0f64;
         for p in &params {
             if let Some(g) = p.grad() {
-                total += g.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+                total += g
+                    .data()
+                    .iter()
+                    .map(|&v| (v as f64) * (v as f64))
+                    .sum::<f64>();
             }
         }
         let norm = total.sqrt() as f32;

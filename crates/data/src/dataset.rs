@@ -302,7 +302,7 @@ mod augment_tests {
 
 impl Dataset {
     /// Generates a dataset with the rigorous solves fanned out over
-    /// `threads` worker threads (crossbeam scoped threads; each clip is
+    /// `threads` workers from the shared [`peb_par`] pool (each clip is
     /// independent). Produces bit-identical output to
     /// [`Dataset::generate`] — every sample is seeded individually — so
     /// the two paths are interchangeable.
@@ -324,35 +324,25 @@ impl Dataset {
         };
         let mut slots: Vec<Option<peb_litho::Result<Sample>>> = Vec::new();
         slots.resize_with(total, || None);
-        {
-            let slots_chunks: Vec<_> = slots.chunks_mut(total.div_ceil(threads)).collect();
-            crossbeam::thread::scope(|scope| {
-                for (chunk_idx, chunk) in slots_chunks.into_iter().enumerate() {
-                    let flow = &flow;
-                    let label = &label;
-                    let cfg = &cfg;
-                    let base = chunk_idx * total.div_ceil(threads);
-                    scope.spawn(move |_| {
-                        for (off, slot) in chunk.iter_mut().enumerate() {
-                            let i = base + off;
-                            let result = cfg.mask.generate(cfg.seed + i as u64).and_then(|clip| {
-                                let sim = flow.run(&clip)?;
-                                Ok(Sample {
-                                    label: label.encode(&sim.inhibitor),
-                                    acid0: sim.acid0,
-                                    inhibitor: sim.inhibitor,
-                                    cds: sim.cds,
-                                    rigorous_peb_time: sim.peb_elapsed,
-                                    clip,
-                                })
-                            });
-                            *slot = Some(result);
-                        }
+        peb_par::with_thread_count(threads, || {
+            peb_par::parallel_chunks_mut(&mut slots, total.div_ceil(threads), |base, chunk| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let i = base + off;
+                    let result = cfg.mask.generate(cfg.seed + i as u64).and_then(|clip| {
+                        let sim = flow.run(&clip)?;
+                        Ok(Sample {
+                            label: label.encode(&sim.inhibitor),
+                            acid0: sim.acid0,
+                            inhibitor: sim.inhibitor,
+                            cds: sim.cds,
+                            rigorous_peb_time: sim.peb_elapsed,
+                            clip,
+                        })
                     });
+                    *slot = Some(result);
                 }
-            })
-            .expect("worker thread panicked");
-        }
+            });
+        });
         let mut samples = Vec::with_capacity(total);
         for slot in slots {
             samples.push(slot.expect("every slot filled")?);

@@ -111,7 +111,10 @@ fn read_tensor(r: &mut impl Read) -> io::Result<Tensor> {
     }
     let n: usize = shape.iter().product();
     if n > (1 << 30) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "tensor too large"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "tensor too large",
+        ));
     }
     let mut data = Vec::with_capacity(n);
     for _ in 0..n {
@@ -317,7 +320,10 @@ pub fn load_tensors(path: &Path) -> io::Result<Vec<Tensor>> {
     }
     let n = read_u64(&mut r)? as usize;
     if n > 1 << 20 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "too many tensors"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "too many tensors",
+        ));
     }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {

@@ -138,7 +138,9 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let data: Vec<Complex> = (0..16).map(|i| Complex::new(i as f32, -(i as f32))).collect();
+        let data: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f32, -(i as f32)))
+            .collect();
         let back = ifft1d(&fft1d(&data).unwrap()).unwrap();
         for (a, b) in back.iter().zip(&data) {
             assert!((a.re - b.re).abs() < 1e-4 && (a.im - b.im).abs() < 1e-4);

@@ -93,23 +93,39 @@ impl ComplexField {
     }
 
     /// FFT along one axis, in place.
+    ///
+    /// The `outer·inner` lines along the axis are independent, so they
+    /// fan out over the `peb-par` pool with a per-chunk gather/scatter
+    /// buffer; every element belongs to exactly one line, keeping the
+    /// result thread-count independent.
     fn transform_axis(&mut self, axis: usize, inverse: bool) -> Result<(), FftError> {
         let shape = &self.shape;
         let outer: usize = shape[..axis].iter().product();
         let mid = shape[axis];
         let inner: usize = shape[axis + 1..].iter().product();
-        let mut line = vec![Complex::ZERO; mid];
-        for o in 0..outer {
-            for i in 0..inner {
+        // The only failure mode is a non-power-of-two axis length, which
+        // is line-independent — check it once, up front.
+        if mid == 0 || mid & (mid - 1) != 0 {
+            return Err(FftError::NotPowerOfTwo { len: mid });
+        }
+        let lines = outer * inner;
+        let slots = peb_par::UnsafeSlice::new(&mut self.data);
+        peb_par::parallel_chunks(lines, lines.div_ceil(64), |range| {
+            let mut line = vec![Complex::ZERO; mid];
+            for li in range {
+                let (o, i) = (li / inner, li % inner);
                 for (m, slot) in line.iter_mut().enumerate() {
-                    *slot = self.data[(o * mid + m) * inner + i];
+                    // SAFETY: line `li` owns exactly the strided positions
+                    // `(o·mid + m)·inner + i`; lines are disjoint.
+                    *slot = unsafe { *slots.get_mut((o * mid + m) * inner + i) };
                 }
-                fft1d_inplace(&mut line, inverse)?;
+                fft1d_inplace(&mut line, inverse).expect("length checked power-of-two");
                 for (m, slot) in line.iter().enumerate() {
-                    self.data[(o * mid + m) * inner + i] = *slot;
+                    // SAFETY: as above.
+                    unsafe { *slots.get_mut((o * mid + m) * inner + i) = *slot };
                 }
             }
-        }
+        });
         Ok(())
     }
 }

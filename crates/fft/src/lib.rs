@@ -9,7 +9,7 @@
 //!   the frequency domain.
 //!
 //! Lengths must be powers of two; the workspace keeps all H/W grid sizes
-//! as powers of two for this reason (see DESIGN.md §5).
+//! as powers of two for this reason (see DESIGN.md §6).
 //!
 //! # Example
 //!

@@ -99,7 +99,11 @@ pub fn solve_eikonal(grid: &Grid, rate: &Tensor, cfg: EikonalConfig) -> Result<T
                         // at z=0 (the surface is the source); both
                         // neighbours elsewhere.
                         let az = if z == 0 {
-                            if nz > 1 { sd[at(1, y, x)] } else { f32::INFINITY }
+                            if nz > 1 {
+                                sd[at(1, y, x)]
+                            } else {
+                                f32::INFINITY
+                            }
                         } else if z + 1 == nz {
                             sd[at(z - 1, y, x)]
                         } else {
@@ -127,7 +131,11 @@ pub fn solve_eikonal(grid: &Grid, rate: &Tensor, cfg: EikonalConfig) -> Result<T
 
 fn neighbour_min(sd: &[f32], i: usize, n: usize, at: impl Fn(usize) -> usize) -> f32 {
     let lo = if i > 0 { sd[at(i - 1)] } else { f32::INFINITY };
-    let hi = if i + 1 < n { sd[at(i + 1)] } else { f32::INFINITY };
+    let hi = if i + 1 < n {
+        sd[at(i + 1)]
+    } else {
+        f32::INFINITY
+    };
     lo.min(hi)
 }
 
@@ -241,15 +249,17 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let grid = Grid::small();
-        assert!(solve_eikonal(&grid, &Tensor::ones(&[1, 2, 3]), EikonalConfig::default())
-            .is_err());
+        assert!(solve_eikonal(&grid, &Tensor::ones(&[1, 2, 3]), EikonalConfig::default()).is_err());
         let zero_rate = Tensor::zeros(&grid.shape3());
         assert!(solve_eikonal(&grid, &zero_rate, EikonalConfig::default()).is_err());
     }
 
     #[test]
     fn godunov_single_axis() {
-        let u = godunov_update(&[(1.0, 2.0), (f32::INFINITY, 1.0), (f32::INFINITY, 1.0)], 0.5);
+        let u = godunov_update(
+            &[(1.0, 2.0), (f32::INFINITY, 1.0), (f32::INFINITY, 1.0)],
+            0.5,
+        );
         assert!((u - 2.0).abs() < 1e-6); // 1.0 + 0.5·2.0
     }
 
@@ -302,7 +312,13 @@ pub fn solve_eikonal_fim(grid: &Grid, rate: &Tensor, cfg: EikonalConfig) -> Resu
             let idx = at(0, y, x);
             s[idx] = 0.5 * hz / rd[idx];
             // Its neighbours form the initial band.
-            for (dz, dy, dx) in [(1isize, 0isize, 0isize), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)] {
+            for (dz, dy, dx) in [
+                (1isize, 0isize, 0isize),
+                (0, 1, 0),
+                (0, -1, 0),
+                (0, 0, 1),
+                (0, 0, -1),
+            ] {
                 let (zz, yy, xx) = (dz, y as isize + dy, x as isize + dx);
                 if zz >= 0
                     && (zz as usize) < nz
@@ -338,7 +354,11 @@ pub fn solve_eikonal_fim(grid: &Grid, rate: &Tensor, cfg: EikonalConfig) -> Resu
             (y + 1 < ny).then(|| at(z, y + 1, x)),
         );
         let az = if z == 0 {
-            if nz > 1 { s[at(1, y, x)] } else { f32::INFINITY }
+            if nz > 1 {
+                s[at(1, y, x)]
+            } else {
+                f32::INFINITY
+            }
         } else if z + 1 == nz {
             s[at(z - 1, y, x)]
         } else {
@@ -427,7 +447,8 @@ mod fim_tests {
     #[test]
     fn fim_rejects_bad_inputs() {
         let grid = Grid::small();
-        assert!(solve_eikonal_fim(&grid, &Tensor::ones(&[1, 1, 1]), EikonalConfig::default())
-            .is_err());
+        assert!(
+            solve_eikonal_fim(&grid, &Tensor::ones(&[1, 1, 1]), EikonalConfig::default()).is_err()
+        );
     }
 }

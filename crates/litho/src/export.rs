@@ -42,8 +42,7 @@ pub fn resist_profile_obj(grid: &Grid, arrival: &Tensor, t_dev: f32) -> Result<S
     };
     let mut vertices: Vec<(f32, f32, f32)> = Vec::new();
     let mut faces: Vec<[usize; 4]> = Vec::new();
-    let mut vertex_id =
-        std::collections::HashMap::<(u32, u32, u32), usize>::new();
+    let mut vertex_id = std::collections::HashMap::<(u32, u32, u32), usize>::new();
     let mut vid = |vertices: &mut Vec<(f32, f32, f32)>, gx: u32, gy: u32, gz: u32| -> usize {
         *vertex_id.entry((gx, gy, gz)).or_insert_with(|| {
             vertices.push((
@@ -67,28 +66,63 @@ pub fn resist_profile_obj(grid: &Grid, arrival: &Tensor, t_dev: f32) -> Result<S
                     faces.push(ids);
                 };
                 if !solid(z, y, x - 1) {
-                    quad([(gx, gy, gz), (gx, gy + 1, gz), (gx, gy + 1, gz + 1), (gx, gy, gz + 1)]);
+                    quad([
+                        (gx, gy, gz),
+                        (gx, gy + 1, gz),
+                        (gx, gy + 1, gz + 1),
+                        (gx, gy, gz + 1),
+                    ]);
                 }
                 if !solid(z, y, x + 1) {
-                    quad([(gx + 1, gy, gz), (gx + 1, gy, gz + 1), (gx + 1, gy + 1, gz + 1), (gx + 1, gy + 1, gz)]);
+                    quad([
+                        (gx + 1, gy, gz),
+                        (gx + 1, gy, gz + 1),
+                        (gx + 1, gy + 1, gz + 1),
+                        (gx + 1, gy + 1, gz),
+                    ]);
                 }
                 if !solid(z, y - 1, x) {
-                    quad([(gx, gy, gz), (gx, gy, gz + 1), (gx + 1, gy, gz + 1), (gx + 1, gy, gz)]);
+                    quad([
+                        (gx, gy, gz),
+                        (gx, gy, gz + 1),
+                        (gx + 1, gy, gz + 1),
+                        (gx + 1, gy, gz),
+                    ]);
                 }
                 if !solid(z, y + 1, x) {
-                    quad([(gx, gy + 1, gz), (gx + 1, gy + 1, gz), (gx + 1, gy + 1, gz + 1), (gx, gy + 1, gz + 1)]);
+                    quad([
+                        (gx, gy + 1, gz),
+                        (gx + 1, gy + 1, gz),
+                        (gx + 1, gy + 1, gz + 1),
+                        (gx, gy + 1, gz + 1),
+                    ]);
                 }
                 if !solid(z - 1, y, x) {
-                    quad([(gx, gy, gz), (gx + 1, gy, gz), (gx + 1, gy + 1, gz), (gx, gy + 1, gz)]);
+                    quad([
+                        (gx, gy, gz),
+                        (gx + 1, gy, gz),
+                        (gx + 1, gy + 1, gz),
+                        (gx, gy + 1, gz),
+                    ]);
                 }
                 if !solid(z + 1, y, x) {
-                    quad([(gx, gy, gz + 1), (gx, gy + 1, gz + 1), (gx + 1, gy + 1, gz + 1), (gx + 1, gy, gz + 1)]);
+                    quad([
+                        (gx, gy, gz + 1),
+                        (gx, gy + 1, gz + 1),
+                        (gx + 1, gy + 1, gz + 1),
+                        (gx + 1, gy, gz + 1),
+                    ]);
                 }
             }
         }
     }
     let mut obj = String::with_capacity(vertices.len() * 24 + faces.len() * 20);
-    let _ = writeln!(obj, "# resist profile — {} vertices, {} quads", vertices.len(), faces.len());
+    let _ = writeln!(
+        obj,
+        "# resist profile — {} vertices, {} quads",
+        vertices.len(),
+        faces.len()
+    );
     for (x, y, z) in &vertices {
         let _ = writeln!(obj, "v {x} {y} {z}");
     }

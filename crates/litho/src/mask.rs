@@ -351,16 +351,12 @@ mod tests {
     fn degenerate_config_rejected() {
         let mut cfg = MaskConfig::demo(64);
         cfg.pitch_px = cfg.contact_px; // holes would merge
-        assert!(matches!(
-            cfg.generate(0),
-            Err(LithoError::Config { .. })
-        ));
+        assert!(matches!(cfg.generate(0), Err(LithoError::Config { .. })));
     }
 
     #[test]
     fn from_nm_conversion() {
-        let cfg =
-            MaskConfig::from_nm(64, 4.0, 60.0, 120.0, 40.0, ClipStyle::RegularArray).unwrap();
+        let cfg = MaskConfig::from_nm(64, 4.0, 60.0, 120.0, 40.0, ClipStyle::RegularArray).unwrap();
         assert_eq!(cfg.contact_px, 15.0);
         assert_eq!(cfg.pitch_px, 30.0);
         assert_eq!(cfg.min_space_px, 10.0);

@@ -69,18 +69,8 @@ pub fn measure_contact_cds(
             });
             continue;
         }
-        let cd_x = span_through(
-            |x| arrival.get(&[layer, cy, x]),
-            cx,
-            grid.nx,
-            t_dev,
-        ) * grid.dx;
-        let cd_y = span_through(
-            |y| arrival.get(&[layer, y, cx]),
-            cy,
-            grid.ny,
-            t_dev,
-        ) * grid.dy;
+        let cd_x = span_through(|x| arrival.get(&[layer, cy, x]), cx, grid.nx, t_dev) * grid.dx;
+        let cd_y = span_through(|y| arrival.get(&[layer, y, cx]), cy, grid.ny, t_dev) * grid.dy;
         out.push(ContactCd {
             cd_x_nm: cd_x,
             cd_y_nm: cd_y,
@@ -94,7 +84,10 @@ pub fn measure_contact_cds(
 /// Developed span (in pixels) through index `centre` along one axis, with
 /// linear sub-pixel interpolation of the `t_dev` crossing on each side.
 fn span_through(s: impl Fn(usize) -> f32, centre: usize, n: usize, t_dev: f32) -> f32 {
-    debug_assert!(s(centre) <= t_dev, "span_through requires a developed centre");
+    debug_assert!(
+        s(centre) <= t_dev,
+        "span_through requires a developed centre"
+    );
     // Walk right.
     let mut right = centre as f32;
     for i in centre..n - 1 {
@@ -140,8 +133,7 @@ mod tests {
             for z in 0..grid.nz {
                 for y in 0..grid.ny {
                     for x in 0..grid.nx {
-                        if (y as f32 - c.cy).abs() <= half_w && (x as f32 - c.cx).abs() <= half_w
-                        {
+                        if (y as f32 - c.cy).abs() <= half_w && (x as f32 - c.cx).abs() <= half_w {
                             s.set(&[z, y, x], 0.0);
                         }
                     }
@@ -269,9 +261,7 @@ pub fn measure_contact_profiles(
             // Wall slope from the half-difference of CDs over the height.
             let half_diff = (t.cd_x_nm - b.cd_x_nm) * 0.5;
             let sidewall_angle_deg = if through {
-                (thickness / half_diff.abs().max(1e-6))
-                    .atan()
-                    .to_degrees()
+                (thickness / half_diff.abs().max(1e-6)).atan().to_degrees()
             } else {
                 0.0
             };
@@ -315,7 +305,12 @@ mod profile_tests {
     #[test]
     fn vertical_wall_gives_ninety_degrees() {
         let g = grid();
-        let contacts = vec![Contact { cy: 16.0, cx: 16.0, w: 8.0, h: 8.0 }];
+        let contacts = vec![Contact {
+            cy: 16.0,
+            cx: 16.0,
+            w: 8.0,
+            h: 8.0,
+        }];
         let s = frustum_arrival(&g, 16.0, 16.0, 4.0, 4.0);
         let p = measure_contact_profiles(&g, &s, 60.0, &contacts).unwrap();
         assert!(p[0].through);
@@ -326,7 +321,12 @@ mod profile_tests {
     #[test]
     fn tapered_wall_has_smaller_angle_and_ratio() {
         let g = grid();
-        let contacts = vec![Contact { cy: 16.0, cx: 16.0, w: 10.0, h: 10.0 }];
+        let contacts = vec![Contact {
+            cy: 16.0,
+            cx: 16.0,
+            w: 10.0,
+            h: 10.0,
+        }];
         let s = frustum_arrival(&g, 16.0, 16.0, 6.0, 2.0);
         let p = measure_contact_profiles(&g, &s, 60.0, &contacts).unwrap();
         assert!(p[0].through);
@@ -338,7 +338,12 @@ mod profile_tests {
     #[test]
     fn closed_bottom_is_not_through() {
         let g = grid();
-        let contacts = vec![Contact { cy: 16.0, cx: 16.0, w: 8.0, h: 8.0 }];
+        let contacts = vec![Contact {
+            cy: 16.0,
+            cx: 16.0,
+            w: 8.0,
+            h: 8.0,
+        }];
         // Developed at the top only.
         let mut s = Tensor::full(&g.shape3(), 1e6);
         for y in 12..20 {

@@ -88,8 +88,8 @@ impl OpticsParams {
             let kernel = gaussian_kernel_periodic(grid.ny, grid.nx, sigma_px, grid.dy / grid.dx);
             let img = convolve2d_periodic(&mask.pattern, &kernel)?;
             let atten = (-self.absorption * z).exp();
-            let phase = 2.0 * std::f32::consts::TAU * self.refractive_index * z
-                / self.wavelength_nm;
+            let phase =
+                2.0 * std::f32::consts::TAU * self.refractive_index * z / self.wavelength_nm;
             let swing = 1.0 + self.standing_wave * phase.cos();
             slices.push(img.map(|v| (v * atten * swing).max(0.0)));
         }
@@ -148,8 +148,7 @@ mod tests {
         let img = p.aerial_image(&grid, &clip).unwrap();
         for k in 0..grid.nz {
             let z = grid.depth_of(k);
-            let phase =
-                2.0 * std::f32::consts::TAU * p.refractive_index * z / p.wavelength_nm;
+            let phase = 2.0 * std::f32::consts::TAU * p.refractive_index * z / p.wavelength_nm;
             let expect = (-p.absorption * z).exp() * (1.0 + p.standing_wave * phase.cos());
             let got = img.slice_axis(0, k, k + 1).unwrap().mean();
             assert!((got - expect).abs() < 1e-3, "layer {k}: {got} vs {expect}");
@@ -164,7 +163,11 @@ mod tests {
         let top = img.slice_axis(0, 0, 1).unwrap();
         let c = &clip.contacts[0];
         let centre = top.get(&[0, c.cy.round() as usize, c.cx.round() as usize]);
-        assert!(centre > top.mean(), "centre {centre} vs mean {}", top.mean());
+        assert!(
+            centre > top.mean(),
+            "centre {centre} vs mean {}",
+            top.mean()
+        );
         assert!(img.min_value() >= 0.0);
     }
 
@@ -203,7 +206,7 @@ mod tests {
         let k = gaussian_kernel_periodic(16, 16, 2.0, 1.0);
         assert!((k.sum() - 1.0).abs() < 1e-5);
         assert_eq!(k.argmax(), 0); // peak at origin for wrapped kernels
-        // Symmetry: k(1, 0) == k(15, 0).
+                                   // Symmetry: k(1, 0) == k(15, 0).
         assert!((k.get(&[1, 0]) - k.get(&[15, 0])).abs() < 1e-7);
     }
 

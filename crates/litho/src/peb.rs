@@ -170,7 +170,8 @@ impl PebSolver {
             let (dl_a, dn_a) = params.diffusivity_a();
             let (dl_b, dn_b) = params.diffusivity_b();
             let limit = |dl: f32, dn: f32| {
-                0.5 / (dl / (grid.dx * grid.dx) + dl / (grid.dy * grid.dy)
+                0.5 / (dl / (grid.dx * grid.dx)
+                    + dl / (grid.dy * grid.dy)
                     + dn / (grid.dz * grid.dz))
             };
             let max_dt = limit(dl_a, dn_a).min(limit(dl_b, dn_b));
@@ -221,11 +222,10 @@ impl PebSolver {
         };
         let steps = (self.params.duration / self.params.dt).round().max(1.0) as usize;
         let dt = self.params.duration / steps as f32;
-        let mut scratch = DiffusionScratch::new(&self.grid);
         for _ in 0..steps {
             self.reaction_half_step(&mut state, dt * 0.5);
-            self.diffuse(&mut state.acid, self.params.diffusivity_a(), true, dt, &mut scratch);
-            self.diffuse(&mut state.base, self.params.diffusivity_b(), false, dt, &mut scratch);
+            self.diffuse(&mut state.acid, self.params.diffusivity_a(), true, dt);
+            self.diffuse(&mut state.base, self.params.diffusivity_b(), false, dt);
             self.reaction_half_step(&mut state, dt * 0.5);
         }
         Ok(state)
@@ -243,7 +243,11 @@ impl PebSolver {
         let acid = state.acid.data_mut();
         let base = state.base.data_mut();
         let inhibitor = state.inhibitor.data_mut();
-        for ((a, b), i) in acid.iter_mut().zip(base.iter_mut()).zip(inhibitor.iter_mut()) {
+        for ((a, b), i) in acid
+            .iter_mut()
+            .zip(base.iter_mut())
+            .zip(inhibitor.iter_mut())
+        {
             let a0 = *a;
             let (a1, b1) = rk4_neutralise(a0, *b, kr, dt);
             *a = a1.max(0.0);
@@ -256,14 +260,7 @@ impl PebSolver {
     /// One diffusion step for a species with `(lateral, normal)`
     /// diffusivities. `robin_top` enables the Eq. 4 surface condition at
     /// depth index 0 (acid only; the base has `h = 0` ⇒ Neumann).
-    fn diffuse(
-        &self,
-        field: &mut Tensor,
-        (d_lat, d_norm): (f32, f32),
-        robin_top: bool,
-        dt: f32,
-        scratch: &mut DiffusionScratch,
-    ) {
+    fn diffuse(&self, field: &mut Tensor, (d_lat, d_norm): (f32, f32), robin_top: bool, dt: f32) {
         let top_bc = if robin_top {
             EndBc::Robin {
                 h: self.params.h_a,
@@ -280,15 +277,26 @@ impl PebSolver {
         match self.scheme {
             TimeScheme::ImplicitLod => {
                 // Lie splitting: x, then y, then z implicit sweeps.
-                implicit_axis(field, 2, d_lat * dt / (self.grid.dx * self.grid.dx), EndBc::Neumann, EndBc::Neumann, scratch);
-                implicit_axis(field, 1, d_lat * dt / (self.grid.dy * self.grid.dy), EndBc::Neumann, EndBc::Neumann, scratch);
+                implicit_axis(
+                    field,
+                    2,
+                    d_lat * dt / (self.grid.dx * self.grid.dx),
+                    EndBc::Neumann,
+                    EndBc::Neumann,
+                );
+                implicit_axis(
+                    field,
+                    1,
+                    d_lat * dt / (self.grid.dy * self.grid.dy),
+                    EndBc::Neumann,
+                    EndBc::Neumann,
+                );
                 implicit_axis(
                     field,
                     0,
                     d_norm * dt / (self.grid.dz * self.grid.dz),
                     top_bc_scaled(top_bc, dt, self.grid.dz),
                     EndBc::Neumann,
-                    scratch,
                 );
             }
             TimeScheme::ExplicitEuler => {
@@ -324,39 +332,17 @@ fn rk4_neutralise(a: f32, b: f32, kr: f32, dt: f32) -> (f32, f32) {
     (a + delta, b + delta)
 }
 
-/// Reusable buffers for the implicit sweeps.
-struct DiffusionScratch {
-    line: Vec<f32>,
-    gamma: Vec<f32>,
-    lower: Vec<f32>,
-    diag: Vec<f32>,
-    upper: Vec<f32>,
-}
-
-impl DiffusionScratch {
-    fn new(grid: &Grid) -> Self {
-        let n = grid.nx.max(grid.ny).max(grid.nz);
-        DiffusionScratch {
-            line: vec![0.0; n],
-            gamma: vec![0.0; n],
-            lower: vec![0.0; n],
-            diag: vec![0.0; n],
-            upper: vec![0.0; n],
-        }
-    }
-}
-
 /// Implicit backward-Euler sweep of one axis: solves
 /// `(I − r·L_axis) u_new = u_old` line by line, where `r = D·dt/h²` and
 /// `L_axis` is the 1-D Laplacian with the given end conditions.
-fn implicit_axis(
-    field: &mut Tensor,
-    axis: usize,
-    r: f32,
-    bc_first: EndBc,
-    bc_last: EndBc,
-    s: &mut DiffusionScratch,
-) {
+///
+/// The `outer·inner` tridiagonal lines are independent, so they fan out
+/// over the `peb-par` pool; each worker chunk carries its own
+/// `line`/`gamma` scratch while the coefficient arrays (identical for
+/// every line of the axis) are shared read-only. Each line reads and
+/// writes only its own strided positions, so the sweep is bitwise
+/// identical at any thread count.
+fn implicit_axis(field: &mut Tensor, axis: usize, r: f32, bc_first: EndBc, bc_last: EndBc) {
     if r == 0.0 {
         return;
     }
@@ -368,56 +354,49 @@ fn implicit_axis(
         return;
     }
     // Coefficient arrays are identical for every line of this axis.
-    for i in 0..n {
-        s.lower[i] = -r;
-        s.diag[i] = 1.0 + 2.0 * r;
-        s.upper[i] = -r;
-    }
+    let lower = vec![-r; n];
+    let upper = vec![-r; n];
+    let mut diag = vec![1.0 + 2.0 * r; n];
     // Reflective end rows lose one neighbour.
-    s.diag[0] = 1.0 + r;
-    s.diag[n - 1] = 1.0 + r;
+    diag[0] = 1.0 + r;
+    diag[n - 1] = 1.0 + r;
     let mut rhs_bump_first = 0.0f32;
     if let EndBc::Robin { h, sat } = bc_first {
         // h here is the pre-scaled h·dt/dz.
-        s.diag[0] += h;
+        diag[0] += h;
         rhs_bump_first = h * sat;
     }
     let mut rhs_bump_last = 0.0f32;
     if let EndBc::Robin { h, sat } = bc_last {
-        s.diag[n - 1] += h;
+        diag[n - 1] += h;
         rhs_bump_last = h * sat;
     }
-    let data = field.data_mut();
-    for o in 0..outer {
-        for i in 0..inner {
-            for k in 0..n {
-                s.line[k] = data[(o * n + k) * inner + i];
+    let lines = outer * inner;
+    let slots = peb_par::UnsafeSlice::new(field.data_mut());
+    let (lower, diag, upper) = (&lower[..], &diag[..], &upper[..]);
+    peb_par::parallel_chunks(lines, lines.div_ceil(64), |range| {
+        let mut line = vec![0f32; n];
+        let mut gamma = vec![0f32; n];
+        for li in range {
+            let (o, i) = (li / inner, li % inner);
+            for (k, lk) in line.iter_mut().enumerate() {
+                // SAFETY: line `li` owns exactly the strided positions
+                // `(o·n + k)·inner + i`; lines are disjoint.
+                *lk = unsafe { *slots.get_mut((o * n + k) * inner + i) };
             }
-            s.line[0] += rhs_bump_first;
-            s.line[n - 1] += rhs_bump_last;
-            solve_tridiagonal(
-                &s.lower[..n],
-                &s.diag[..n],
-                &s.upper[..n],
-                &mut s.line[..n],
-                &mut s.gamma[..n],
-            );
-            for k in 0..n {
-                data[(o * n + k) * inner + i] = s.line[k];
+            line[0] += rhs_bump_first;
+            line[n - 1] += rhs_bump_last;
+            solve_tridiagonal(lower, diag, upper, &mut line, &mut gamma);
+            for (k, lk) in line.iter().enumerate() {
+                // SAFETY: as above.
+                unsafe { *slots.get_mut((o * n + k) * inner + i) = *lk };
             }
         }
-    }
+    });
 }
 
 /// Reference explicit step (all axes at once).
-fn explicit_step(
-    field: &mut Tensor,
-    grid: &Grid,
-    d_lat: f32,
-    d_norm: f32,
-    top_bc: EndBc,
-    dt: f32,
-) {
+fn explicit_step(field: &mut Tensor, grid: &Grid, d_lat: f32, d_norm: f32, top_bc: EndBc, dt: f32) {
     let (nz, ny, nx) = (grid.nz, grid.ny, grid.nx);
     let (rx, ry, rz) = (
         d_lat * dt / (grid.dx * grid.dx),
@@ -425,9 +404,12 @@ fn explicit_step(
         d_norm * dt / (grid.dz * grid.dz),
     );
     let src = field.data().to_vec();
-    let dst = field.data_mut();
     let at = |z: usize, y: usize, x: usize| (z * ny + y) * nx + x;
-    for z in 0..nz {
+    // Every cell reads the frozen `src` copy and writes only itself:
+    // z-slices update in parallel with no ordering sensitivity.
+    let slice = ny * nx;
+    peb_par::parallel_chunks_mut(field.data_mut(), slice, |offset, dst| {
+        let z = offset / slice;
         for y in 0..ny {
             for x in 0..nx {
                 let c = src[at(z, y, x)];
@@ -449,10 +431,10 @@ fn explicit_step(
                     let zm = src[at(z - 1, y, x)];
                     acc += rz * (zm + zp - 2.0 * c);
                 }
-                dst[at(z, y, x)] = c + acc;
+                dst[y * nx + x] = c + acc;
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]
@@ -482,7 +464,11 @@ mod tests {
         let mut acid0 = Tensor::zeros(&grid.shape3());
         acid0.set(&[2, 8, 8], 1.0);
         let out = solver.run(&acid0).unwrap();
-        assert!((out.acid.sum() - 1.0).abs() < 1e-3, "mass {}", out.acid.sum());
+        assert!(
+            (out.acid.sum() - 1.0).abs() < 1e-3,
+            "mass {}",
+            out.acid.sum()
+        );
         // And it spreads: the peak is no longer 1.
         assert!(out.acid.max_value() < 0.9);
         assert!(out.acid.min_value() >= -1e-6);
@@ -498,10 +484,7 @@ mod tests {
         let out = solver.run(&acid0).unwrap();
         // A − B is conserved pointwise by the neutralisation.
         let diff0 = 0.8 - p.base0;
-        let diff = out
-            .acid
-            .zip_map(&out.base, |a, b| a - b)
-            .unwrap();
+        let diff = out.acid.zip_map(&out.base, |a, b| a - b).unwrap();
         assert!(diff.map(|d| (d - diff0).abs()).max_value() < 1e-3);
         assert!(out.acid.max_value() < 0.8);
         assert!(out.base.max_value() < p.base0);
@@ -597,8 +580,7 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         let grid = tiny_grid();
-        let solver =
-            PebSolver::new(short_params(), grid, TimeScheme::ImplicitLod).unwrap();
+        let solver = PebSolver::new(short_params(), grid, TimeScheme::ImplicitLod).unwrap();
         assert!(solver.run(&Tensor::zeros(&[2, 2, 2])).is_err());
     }
 }

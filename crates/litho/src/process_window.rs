@@ -91,11 +91,13 @@ pub fn exposure_latitude(points: &[ProcessPoint], tolerance_nm: f32) -> Option<f
     let in_spec: Vec<&ProcessPoint> = points
         .iter()
         .filter(|p| {
-            p.mean_cd_x_nm > 0.0
-                && (p.mean_cd_x_nm - nominal.mean_cd_x_nm).abs() <= tolerance_nm
+            p.mean_cd_x_nm > 0.0 && (p.mean_cd_x_nm - nominal.mean_cd_x_nm).abs() <= tolerance_nm
         })
         .collect();
-    let lo = in_spec.iter().map(|p| p.dose_scale).fold(f32::INFINITY, f32::min);
+    let lo = in_spec
+        .iter()
+        .map(|p| p.dose_scale)
+        .fold(f32::INFINITY, f32::min);
     let hi = in_spec
         .iter()
         .map(|p| p.dose_scale)
@@ -124,8 +126,7 @@ mod tests {
         let pts = dose_sweep(&flow, &clip, &[0.8, 1.0, 1.2]).unwrap();
         assert_eq!(pts.len(), 3);
         // More dose → more acid → more deprotection → larger holes.
-        let printed: Vec<&ProcessPoint> =
-            pts.iter().filter(|p| p.mean_cd_x_nm > 0.0).collect();
+        let printed: Vec<&ProcessPoint> = pts.iter().filter(|p| p.mean_cd_x_nm > 0.0).collect();
         assert!(printed.len() >= 2, "{pts:?}");
         for w in printed.windows(2) {
             assert!(
@@ -139,10 +140,7 @@ mod tests {
     fn underdose_closes_contacts() {
         let (flow, clip) = setup();
         let pts = dose_sweep(&flow, &clip, &[0.25, 1.0]).unwrap();
-        assert!(
-            pts[0].open_fraction <= pts[1].open_fraction,
-            "{pts:?}"
-        );
+        assert!(pts[0].open_fraction <= pts[1].open_fraction, "{pts:?}");
     }
 
     #[test]
@@ -160,10 +158,30 @@ mod tests {
     #[test]
     fn exposure_latitude_brackets_nominal() {
         let pts = vec![
-            ProcessPoint { dose_scale: 0.9, defocus_offset: 0.0, mean_cd_x_nm: 50.0, open_fraction: 1.0 },
-            ProcessPoint { dose_scale: 1.0, defocus_offset: 0.0, mean_cd_x_nm: 55.0, open_fraction: 1.0 },
-            ProcessPoint { dose_scale: 1.1, defocus_offset: 0.0, mean_cd_x_nm: 59.0, open_fraction: 1.0 },
-            ProcessPoint { dose_scale: 1.2, defocus_offset: 0.0, mean_cd_x_nm: 70.0, open_fraction: 1.0 },
+            ProcessPoint {
+                dose_scale: 0.9,
+                defocus_offset: 0.0,
+                mean_cd_x_nm: 50.0,
+                open_fraction: 1.0,
+            },
+            ProcessPoint {
+                dose_scale: 1.0,
+                defocus_offset: 0.0,
+                mean_cd_x_nm: 55.0,
+                open_fraction: 1.0,
+            },
+            ProcessPoint {
+                dose_scale: 1.1,
+                defocus_offset: 0.0,
+                mean_cd_x_nm: 59.0,
+                open_fraction: 1.0,
+            },
+            ProcessPoint {
+                dose_scale: 1.2,
+                defocus_offset: 0.0,
+                mean_cd_x_nm: 70.0,
+                open_fraction: 1.0,
+            },
         ];
         let lat = exposure_latitude(&pts, 6.0).unwrap();
         assert!((lat - 0.2).abs() < 1e-6, "latitude {lat}");

@@ -146,7 +146,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let conv = CausalDwConv1d::new(2, 3, &mut rng);
         let x0 = Tensor::randn(&[4, 2], &mut rng);
-        let r = check_gradients(&Var::parameter(x0), |v| conv.forward(v).square().sum(), 1e-2);
+        let r = check_gradients(
+            &Var::parameter(x0),
+            |v| conv.forward(v).square().sum(),
+            1e-2,
+        );
         assert!(r.ok(3e-2), "{r:?}");
     }
 

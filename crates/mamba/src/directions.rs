@@ -167,9 +167,8 @@ mod tests {
 
     #[test]
     fn gather_roundtrip_and_gradient() {
-        let x = Var::parameter(
-            Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[4, 2]).unwrap(),
-        );
+        let x =
+            Var::parameter(Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[4, 2]).unwrap());
         let order = ScanOrder::new(ScanDirection::DepthBackward, (4, 1, 1));
         let y = gather_rows(&x, &order.indices);
         assert_eq!(y.value().data()[0..2], [6.0, 7.0]);

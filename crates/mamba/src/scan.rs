@@ -108,27 +108,37 @@ fn scan_forward(
         c.data(),
         d.data(),
     );
-    let mut h = vec![0f32; ch * n];
     let mut h_traj = vec![0f32; l * ch * n];
     let mut y = Tensor::zeros(&[l, ch]);
-    let yd = y.data_mut();
-    for t in 0..l {
-        for ci in 0..ch {
-            let dt = dd[t * ch + ci];
-            let ut = ud[t * ch + ci];
-            let dtu = dt * ut;
-            let mut acc = 0f32;
-            let hrow = &mut h[ci * n..(ci + 1) * n];
-            for ni in 0..n {
-                let e = (dt * ad[ci * n + ni]).exp();
-                let hv = e * hrow[ni] + dtu * bd[t * n + ni];
-                hrow[ni] = hv;
-                acc += cd[t * n + ni] * hv;
+    {
+        // Channel lanes are independent: the t-recurrence runs
+        // sequentially per lane while lanes fan out over the pool. Every
+        // y/h_traj position belongs to exactly one lane, so the result is
+        // thread-count independent.
+        let yslots = peb_par::UnsafeSlice::new(y.data_mut());
+        let hslots = peb_par::UnsafeSlice::new(&mut h_traj);
+        peb_par::parallel_chunks(ch, ch.div_ceil(8), |lanes| {
+            let mut h = vec![0f32; n];
+            for ci in lanes {
+                h.fill(0.0);
+                for t in 0..l {
+                    let dt = dd[t * ch + ci];
+                    let ut = ud[t * ch + ci];
+                    let dtu = dt * ut;
+                    let mut acc = 0f32;
+                    for (ni, hv) in h.iter_mut().enumerate() {
+                        let e = (dt * ad[ci * n + ni]).exp();
+                        *hv = e * *hv + dtu * bd[t * n + ni];
+                        acc += cd[t * n + ni] * *hv;
+                    }
+                    // SAFETY: lane `ci` owns y[t·ch+ci] and the
+                    // h_traj[(t·ch+ci)·n..] block for every t.
+                    unsafe { *yslots.get_mut(t * ch + ci) = acc + skip[ci] * ut };
+                    unsafe { hslots.slice_mut((t * ch + ci) * n..(t * ch + ci + 1) * n) }
+                        .copy_from_slice(&h);
+                }
             }
-            yd[t * ch + ci] = acc + skip[ci] * ut;
-            h_traj[(t * ch + ci) * n..(t * ch + ci + 1) * n]
-                .copy_from_slice(&h[ci * n..(ci + 1) * n]);
-        }
+        });
     }
     (y, h_traj)
 }
@@ -162,53 +172,73 @@ fn scan_backward(
     let mut db = Tensor::zeros(&[l, n]);
     let mut dc = Tensor::zeros(&[l, n]);
     let mut dskip = Tensor::zeros(&[ch]);
-    // dh carried backward through the recurrence, per (channel, state).
-    let mut dh = vec![0f32; ch * n];
-    {
-        let dud = du.data_mut();
-        let ddeltad = ddelta.data_mut();
-        let dad = da.data_mut();
-        let dbd = db.data_mut();
-        let dcd = dc.data_mut();
-        let dskipd = dskip.data_mut();
-        for t in (0..l).rev() {
-            for ci in 0..ch {
-                let gy = gd[t * ch + ci];
-                let dt = dd[t * ch + ci];
-                let ut = ud[t * ch + ci];
-                dskipd[ci] += gy * ut;
-                let mut du_acc = gy * skip[ci];
-                let mut ddt_acc = 0f32;
-                for ni in 0..n {
-                    let h_t = h_traj[(t * ch + ci) * n + ni];
-                    // y contribution.
-                    dcd[t * n + ni] += gy * h_t;
-                    // Total gradient flowing into h_t: from y plus from
-                    // h_{t+1} (already accumulated in dh).
-                    let dht = gy * cd[t * n + ni] + dh[ci * n + ni];
-                    // h_t = e·h_{t−1} + dt·u·b.
-                    let av = ad[ci * n + ni];
-                    let e = (dt * av).exp();
-                    let h_prev = if t == 0 {
-                        0.0
-                    } else {
-                        h_traj[((t - 1) * ch + ci) * n + ni]
-                    };
-                    // Through the decay factor e = exp(dt·a).
-                    let de = dht * h_prev;
-                    ddt_acc += de * av * e;
-                    dad[ci * n + ni] += de * dt * e;
-                    // Through the drive term dt·u·b.
-                    let bv = bd[t * n + ni];
-                    ddt_acc += dht * bv * ut;
-                    du_acc += dht * dt * bv;
-                    dbd[t * n + ni] += dht * dt * ut;
-                    // Carry to h_{t−1}.
-                    dh[ci * n + ni] = dht * e;
+    // du/ddelta/da/dskip are per-channel disjoint, so lanes write them
+    // directly. db and dc reduce *across* channels: each fixed chunk of
+    // lanes produces a partial, and the partials are summed in ascending
+    // chunk order below — chunk boundaries depend only on `ch`, so the
+    // reduction order (and bits) are identical at any thread count.
+    let partials = {
+        let duslots = peb_par::UnsafeSlice::new(du.data_mut());
+        let ddslots = peb_par::UnsafeSlice::new(ddelta.data_mut());
+        let daslots = peb_par::UnsafeSlice::new(da.data_mut());
+        let dsslots = peb_par::UnsafeSlice::new(dskip.data_mut());
+        peb_par::parallel_chunks_collect(ch, ch.div_ceil(8), |lanes| {
+            let mut dbp = vec![0f32; l * n];
+            let mut dcp = vec![0f32; l * n];
+            // dh carried backward through the recurrence, per state.
+            let mut dh = vec![0f32; n];
+            for ci in lanes {
+                dh.fill(0.0);
+                for t in (0..l).rev() {
+                    let gy = gd[t * ch + ci];
+                    let dt = dd[t * ch + ci];
+                    let ut = ud[t * ch + ci];
+                    // SAFETY: lane `ci` owns dskip[ci], da row ci, and the
+                    // strided du/ddelta positions `t·ch + ci`.
+                    unsafe { *dsslots.get_mut(ci) += gy * ut };
+                    let mut du_acc = gy * skip[ci];
+                    let mut ddt_acc = 0f32;
+                    for (ni, dhv) in dh.iter_mut().enumerate() {
+                        let h_t = h_traj[(t * ch + ci) * n + ni];
+                        // y contribution.
+                        dcp[t * n + ni] += gy * h_t;
+                        // Total gradient flowing into h_t: from y plus
+                        // from h_{t+1} (already accumulated in dh).
+                        let dht = gy * cd[t * n + ni] + *dhv;
+                        // h_t = e·h_{t−1} + dt·u·b.
+                        let av = ad[ci * n + ni];
+                        let e = (dt * av).exp();
+                        let h_prev = if t == 0 {
+                            0.0
+                        } else {
+                            h_traj[((t - 1) * ch + ci) * n + ni]
+                        };
+                        // Through the decay factor e = exp(dt·a).
+                        let de = dht * h_prev;
+                        ddt_acc += de * av * e;
+                        unsafe { *daslots.get_mut(ci * n + ni) += de * dt * e };
+                        // Through the drive term dt·u·b.
+                        let bv = bd[t * n + ni];
+                        ddt_acc += dht * bv * ut;
+                        du_acc += dht * dt * bv;
+                        dbp[t * n + ni] += dht * dt * ut;
+                        // Carry to h_{t−1}.
+                        *dhv = dht * e;
+                    }
+                    unsafe { *duslots.get_mut(t * ch + ci) += du_acc };
+                    unsafe { *ddslots.get_mut(t * ch + ci) += ddt_acc };
                 }
-                dud[t * ch + ci] += du_acc;
-                ddeltad[t * ch + ci] += ddt_acc;
             }
+            (dbp, dcp)
+        })
+    };
+    let (dbd, dcd) = (db.data_mut(), dc.data_mut());
+    for (dbp, dcp) in partials {
+        for (o, v) in dbd.iter_mut().zip(dbp) {
+            *o += v;
+        }
+        for (o, v) in dcd.iter_mut().zip(dcp) {
+            *o += v;
         }
     }
     vec![du, ddelta, da, db, dc, dskip]
@@ -322,16 +352,17 @@ mod tests {
             Tensor::randn(&[4, 2], &mut rng)
         };
         // Build loss as weighted sum to get a non-trivial output seed.
-        let loss_of = |u: &Tensor, delta: &Tensor, a: &Tensor, b: &Tensor, c: &Tensor, d: &Tensor| {
-            selective_scan(
-                &Var::constant(u.clone()),
-                &Var::constant(delta.clone()),
-                &Var::constant(a.clone()),
-                &Var::constant(b.clone()),
-                &Var::constant(c.clone()),
-                &Var::constant(d.clone()),
-            )
-        };
+        let loss_of =
+            |u: &Tensor, delta: &Tensor, a: &Tensor, b: &Tensor, c: &Tensor, d: &Tensor| {
+                selective_scan(
+                    &Var::constant(u.clone()),
+                    &Var::constant(delta.clone()),
+                    &Var::constant(a.clone()),
+                    &Var::constant(b.clone()),
+                    &Var::constant(c.clone()),
+                    &Var::constant(d.clone()),
+                )
+            };
         // Analytic gradients.
         let (u, delta, a, b, c, d) = (
             Var::parameter(o.u.clone()),
@@ -348,44 +379,74 @@ mod tests {
             (
                 "u",
                 u.grad().unwrap(),
-                numeric_gradient(&o.u, |v| {
-                    loss_of(&v.value_clone(), &o.delta, &o.a, &o.b, &o.c, &o.d).weighted_sum(&weights)
-                }, 1e-2),
+                numeric_gradient(
+                    &o.u,
+                    |v| {
+                        loss_of(&v.value_clone(), &o.delta, &o.a, &o.b, &o.c, &o.d)
+                            .weighted_sum(&weights)
+                    },
+                    1e-2,
+                ),
             ),
             (
                 "delta",
                 delta.grad().unwrap(),
-                numeric_gradient(&o.delta, |v| {
-                    loss_of(&o.u, &v.value_clone(), &o.a, &o.b, &o.c, &o.d).weighted_sum(&weights)
-                }, 1e-3),
+                numeric_gradient(
+                    &o.delta,
+                    |v| {
+                        loss_of(&o.u, &v.value_clone(), &o.a, &o.b, &o.c, &o.d)
+                            .weighted_sum(&weights)
+                    },
+                    1e-3,
+                ),
             ),
             (
                 "a",
                 a.grad().unwrap(),
-                numeric_gradient(&o.a, |v| {
-                    loss_of(&o.u, &o.delta, &v.value_clone(), &o.b, &o.c, &o.d).weighted_sum(&weights)
-                }, 1e-2),
+                numeric_gradient(
+                    &o.a,
+                    |v| {
+                        loss_of(&o.u, &o.delta, &v.value_clone(), &o.b, &o.c, &o.d)
+                            .weighted_sum(&weights)
+                    },
+                    1e-2,
+                ),
             ),
             (
                 "b",
                 b.grad().unwrap(),
-                numeric_gradient(&o.b, |v| {
-                    loss_of(&o.u, &o.delta, &o.a, &v.value_clone(), &o.c, &o.d).weighted_sum(&weights)
-                }, 1e-2),
+                numeric_gradient(
+                    &o.b,
+                    |v| {
+                        loss_of(&o.u, &o.delta, &o.a, &v.value_clone(), &o.c, &o.d)
+                            .weighted_sum(&weights)
+                    },
+                    1e-2,
+                ),
             ),
             (
                 "c",
                 c.grad().unwrap(),
-                numeric_gradient(&o.c, |v| {
-                    loss_of(&o.u, &o.delta, &o.a, &o.b, &v.value_clone(), &o.d).weighted_sum(&weights)
-                }, 1e-2),
+                numeric_gradient(
+                    &o.c,
+                    |v| {
+                        loss_of(&o.u, &o.delta, &o.a, &o.b, &v.value_clone(), &o.d)
+                            .weighted_sum(&weights)
+                    },
+                    1e-2,
+                ),
             ),
             (
                 "d",
                 d.grad().unwrap(),
-                numeric_gradient(&o.d, |v| {
-                    loss_of(&o.u, &o.delta, &o.a, &o.b, &o.c, &v.value_clone()).weighted_sum(&weights)
-                }, 1e-2),
+                numeric_gradient(
+                    &o.d,
+                    |v| {
+                        loss_of(&o.u, &o.delta, &o.a, &o.b, &o.c, &v.value_clone())
+                            .weighted_sum(&weights)
+                    },
+                    1e-2,
+                ),
             ),
         ];
         for (name, analytic, numeric) in checks {
@@ -443,29 +504,35 @@ pub fn selective_scan_chunked(
             c.value_clone(),
             d.value_clone(),
         );
-        let mut h = vec![0f32; ch * n];
         let mut y = Tensor::zeros(&[l, ch]);
-        let yd = y.data_mut();
-        let mut t0 = 0usize;
-        while t0 < l {
-            let t1 = (t0 + chunk).min(l);
-            // Within-chunk recurrence starting from the carried state.
-            for t in t0..t1 {
-                for ci in 0..ch {
-                    let dt = dd.data()[t * ch + ci];
-                    let ut = ud.data()[t * ch + ci];
-                    let mut acc = 0f32;
-                    for ni in 0..n {
-                        let e = (dt * ad.data()[ci * n + ni]).exp();
-                        let hv = e * h[ci * n + ni] + dt * ut * bd.data()[t * n + ni];
-                        h[ci * n + ni] = hv;
-                        acc += cd.data()[t * n + ni] * hv;
+        // Channel lanes fan out as in `scan_forward`; the time-chunk loop
+        // (the memory-bounding structure) runs per lane.
+        let yslots = peb_par::UnsafeSlice::new(y.data_mut());
+        peb_par::parallel_chunks(ch, ch.div_ceil(8), |lanes| {
+            let mut h = vec![0f32; n];
+            for ci in lanes.clone() {
+                h.fill(0.0);
+                let mut t0 = 0usize;
+                while t0 < l {
+                    let t1 = (t0 + chunk).min(l);
+                    // Within-chunk recurrence starting from the carried
+                    // state.
+                    for t in t0..t1 {
+                        let dt = dd.data()[t * ch + ci];
+                        let ut = ud.data()[t * ch + ci];
+                        let mut acc = 0f32;
+                        for (ni, hv) in h.iter_mut().enumerate() {
+                            let e = (dt * ad.data()[ci * n + ni]).exp();
+                            *hv = e * *hv + dt * ut * bd.data()[t * n + ni];
+                            acc += cd.data()[t * n + ni] * *hv;
+                        }
+                        // SAFETY: lane `ci` owns y[t·ch+ci] for every t.
+                        unsafe { *yslots.get_mut(t * ch + ci) = acc + skip.data()[ci] * ut };
                     }
-                    yd[t * ch + ci] = acc + skip.data()[ci] * ut;
+                    t0 = t1;
                 }
             }
-            t0 = t1;
-        }
+        });
         y
     };
     // The chunked forward is value-identical to the sequential scan, so
@@ -544,8 +611,7 @@ mod chunked_tests {
     #[test]
     fn chunked_matches_sequential_for_all_chunk_sizes() {
         let o = operands(13, 2, 3, 81);
-        let reference =
-            selective_scan(&o[0], &o[1], &o[2], &o[3], &o[4], &o[5]).value_clone();
+        let reference = selective_scan(&o[0], &o[1], &o[2], &o[3], &o[4], &o[5]).value_clone();
         for chunk in [1usize, 2, 4, 5, 13, 64] {
             let y = selective_scan_chunked(&o[0], &o[1], &o[2], &o[3], &o[4], &o[5], chunk)
                 .value_clone();

@@ -67,7 +67,7 @@ impl SsmBlock {
         // Eq. 10: input-dependent projections.
         let b = self.b_proj.forward(x); // [L, N]
         let c = self.c_proj.forward(x); // [L, N]
-        // Eq. 11: Δ = softplus(Broadcast_C(Linear_1(x)) + bias).
+                                        // Eq. 11: Δ = softplus(Broadcast_C(Linear_1(x)) + bias).
         let delta = self
             .dt_proj
             .forward(x) // [L, 1]
@@ -157,9 +157,7 @@ mod tests {
         let ssm = SsmBlock::new(2, 3, &mut rng);
         let x = Tensor::randn(&[8, 2], &mut rng);
         let y1 = ssm.forward(&Var::constant(x.clone())).value_clone();
-        let y2 = ssm
-            .forward(&Var::constant(x.mul_scalar(2.0)))
-            .value_clone();
+        let y2 = ssm.forward(&Var::constant(x.mul_scalar(2.0))).value_clone();
         assert!(y2.max_abs_diff(&y1.mul_scalar(2.0)) > 1e-4);
     }
 }
@@ -174,11 +172,11 @@ mod tests {
 /// below.
 #[derive(Debug)]
 pub struct LtiSsmBlock {
-    b_const: Var,  // [N]
-    c_const: Var,  // [N]
-    dt_log: Var,   // [C] (Δ = softplus)
-    a_log: Var,    // [C, N]
-    d_skip: Var,   // [C]
+    b_const: Var, // [N]
+    c_const: Var, // [N]
+    dt_log: Var,  // [C] (Δ = softplus)
+    a_log: Var,   // [C, N]
+    d_skip: Var,  // [C]
     channels: usize,
     state: usize,
 }

@@ -31,7 +31,10 @@ impl EfficientSelfAttention {
     ///
     /// Panics unless `dim` is divisible by `heads` and `reduction ≥ 1`.
     pub fn new(dim: usize, heads: usize, reduction: usize, rng: &mut impl Rng) -> Self {
-        assert!(dim.is_multiple_of(heads), "dim {dim} not divisible by heads {heads}");
+        assert!(
+            dim.is_multiple_of(heads),
+            "dim {dim} not divisible by heads {heads}"
+        );
         assert!(reduction >= 1, "reduction must be >= 1");
         let reduce = (reduction > 1).then(|| Linear::new(dim * reduction, dim, true, rng));
         EfficientSelfAttention {
@@ -68,8 +71,8 @@ impl EfficientSelfAttention {
             self.reduction
         );
         let q = self.wq.forward(x); // [L, C]
-        // Sequence reduction (Eq. 15): fold r consecutive tokens into the
-        // channel axis, then project back to C.
+                                    // Sequence reduction (Eq. 15): fold r consecutive tokens into the
+                                    // channel axis, then project back to C.
         let kv_in = match &self.reduce {
             Some(proj) => {
                 let folded = x.reshape(&[l / self.reduction, c * self.reduction]);
@@ -159,7 +162,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(20);
         let attn = EfficientSelfAttention::new(4, 2, 2, &mut rng);
         let x0 = Tensor::randn(&[4, 4], &mut rng);
-        let r = check_gradients(&Var::parameter(x0), |v| attn.forward(v).square().sum(), 1e-2);
+        let r = check_gradients(
+            &Var::parameter(x0),
+            |v| attn.forward(v).square().sum(),
+            1e-2,
+        );
         assert!(r.ok(3e-2), "{r:?}");
     }
 

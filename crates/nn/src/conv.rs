@@ -21,16 +21,24 @@ fn out_extent(n: usize, k: usize, stride: usize, pad: usize) -> usize {
 }
 
 /// Unfolds `[Cin, H, W]` into a `[Cin·kh·kw, Ho·Wo]` patch matrix.
+///
+/// Channels unfold in parallel: each channel owns a disjoint `kh·kw·Ho·Wo`
+/// block of the patch matrix, so the result is thread-count independent.
 fn im2col2(input: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> Tensor {
     let (cin, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
-    let (ho, wo) = (out_extent(h, kh, stride, pad), out_extent(w, kw, stride, pad));
+    let (ho, wo) = (
+        out_extent(h, kh, stride, pad),
+        out_extent(w, kw, stride, pad),
+    );
     let src = input.data();
-    let mut out = vec![0f32; cin * kh * kw * ho * wo];
     let cols = ho * wo;
-    for c in 0..cin {
+    let per_c = kh * kw * cols;
+    let mut out = vec![0f32; cin * per_c];
+    peb_par::parallel_chunks_mut(&mut out, per_c, |offset, chunk| {
+        let c = offset / per_c;
         for ky in 0..kh {
             for kx in 0..kw {
-                let row = ((c * kh + ky) * kw + kx) * cols;
+                let row = (ky * kw + kx) * cols;
                 for oy in 0..ho {
                     let iy = (oy * stride + ky) as isize - pad as isize;
                     for ox in 0..wo {
@@ -40,12 +48,12 @@ fn im2col2(input: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> T
                         } else {
                             0.0
                         };
-                        out[row + oy * wo + ox] = v;
+                        chunk[row + oy * wo + ox] = v;
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[cin * kh * kw, cols]).expect("im2col2")
 }
 
@@ -62,12 +70,18 @@ fn col2im2(
     stride: usize,
     pad: usize,
 ) -> Tensor {
-    let (ho, wo) = (out_extent(h, kh, stride, pad), out_extent(w, kw, stride, pad));
+    let (ho, wo) = (
+        out_extent(h, kh, stride, pad),
+        out_extent(w, kw, stride, pad),
+    );
     let src = cols_t.data();
     let mut out = Tensor::zeros(&[cin, h, w]);
-    let dst = out.data_mut();
     let cols = ho * wo;
-    for c in 0..cin {
+    let per_c = h * w;
+    // Overlap accumulation stays sequential *within* a channel, and
+    // channels scatter into disjoint `[h·w]` planes — deterministic.
+    peb_par::parallel_chunks_mut(out.data_mut(), per_c, |offset, dst| {
+        let c = offset / per_c;
         for ky in 0..kh {
             for kx in 0..kw {
                 let row = ((c * kh + ky) * kw + kx) * cols;
@@ -81,12 +95,12 @@ fn col2im2(
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        dst[(c * h + iy as usize) * w + ix as usize] += src[row + oy * wo + ox];
+                        dst[iy as usize * w + ix as usize] += src[row + oy * wo + ox];
                     }
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -113,12 +127,14 @@ fn im2col3(
     );
     let src = input.data();
     let cols = dd * hh * ww;
-    let mut out = vec![0f32; cin * kd * kh * kw * cols];
-    for c in 0..cin {
+    let per_c = kd * kh * kw * cols;
+    let mut out = vec![0f32; cin * per_c];
+    peb_par::parallel_chunks_mut(&mut out, per_c, |offset, chunk| {
+        let c = offset / per_c;
         for kz in 0..kd {
             for ky in 0..kh {
                 for kx in 0..kw {
-                    let row = (((c * kd + kz) * kh + ky) * kw + kx) * cols;
+                    let row = ((kz * kh + ky) * kw + kx) * cols;
                     let mut col = 0usize;
                     for oz in 0..dd {
                         let iz = (oz * stride.0 + kz) as isize - pad.0 as isize;
@@ -133,12 +149,11 @@ fn im2col3(
                                     && ix >= 0
                                     && ix < w as isize
                                 {
-                                    src[((c * d + iz as usize) * h + iy as usize) * w
-                                        + ix as usize]
+                                    src[((c * d + iz as usize) * h + iy as usize) * w + ix as usize]
                                 } else {
                                     0.0
                                 };
-                                out[row + col] = v;
+                                chunk[row + col] = v;
                                 col += 1;
                             }
                         }
@@ -146,7 +161,7 @@ fn im2col3(
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[cin * kd * kh * kw, cols]).expect("im2col3")
 }
 
@@ -171,9 +186,10 @@ fn col2im3(
     );
     let src = cols_t.data();
     let mut out = Tensor::zeros(&[cin, d, h, w]);
-    let dst = out.data_mut();
     let cols = dd * hh * ww;
-    for c in 0..cin {
+    let per_c = d * h * w;
+    peb_par::parallel_chunks_mut(out.data_mut(), per_c, |offset, dst| {
+        let c = offset / per_c;
         for kz in 0..kd {
             for ky in 0..kh {
                 for kx in 0..kw {
@@ -192,8 +208,8 @@ fn col2im3(
                                     && ix >= 0
                                     && ix < w as isize
                                 {
-                                    dst[((c * d + iz as usize) * h + iy as usize) * w
-                                        + ix as usize] += src[row + col];
+                                    dst[(iz as usize * h + iy as usize) * w + ix as usize] +=
+                                        src[row + col];
                                 }
                                 col += 1;
                             }
@@ -202,7 +218,7 @@ fn col2im3(
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -267,11 +283,7 @@ impl Conv2d {
         let (ho, wo) = self.output_hw(h, w);
         let (k, stride, pad, cin, cout) = (self.kernel, self.stride, self.pad, self.cin, self.cout);
         let col = im2col2(&x.value(), k, k, stride, pad);
-        let mut out = self
-            .weight
-            .value()
-            .matmul(&col)
-            .expect("conv2d gemm");
+        let mut out = self.weight.value().matmul(&col).expect("conv2d gemm");
         if let Some(b) = &self.bias {
             let bv = b.value();
             let data = out.data_mut();
@@ -481,7 +493,11 @@ impl DwConv3d {
     /// Panics if the channel count mismatches.
     pub fn forward(&self, x: &Var) -> Var {
         let xs = x.shape();
-        assert_eq!(xs[0], self.channels, "DwConv3d expects {} channels", self.channels);
+        assert_eq!(
+            xs[0], self.channels,
+            "DwConv3d expects {} channels",
+            self.channels
+        );
         let (c, d, h, w) = (xs[0], xs[1], xs[2], xs[3]);
         let k = self.kernel;
         let p = k / 2;
@@ -520,8 +536,12 @@ fn dw3_forward(x: &Tensor, w: &Tensor, b: &Tensor, k: usize, p: usize) -> Tensor
     let mut out = Tensor::zeros(s);
     let xd = x.data();
     let wdat = w.data();
-    let od = out.data_mut();
-    for ci in 0..c {
+    let per_c = d * h * wd;
+    let _ = c;
+    // Depthwise by definition: channel `ci` reads and writes only its own
+    // plane, so channels fan out with no cross-talk.
+    peb_par::parallel_chunks_mut(out.data_mut(), per_c, |offset, od| {
+        let ci = offset / per_c;
         let wbase = ci * k * k * k;
         for z in 0..d {
             for y in 0..h {
@@ -548,11 +568,11 @@ fn dw3_forward(x: &Tensor, w: &Tensor, b: &Tensor, k: usize, p: usize) -> Tensor
                             }
                         }
                     }
-                    od[((ci * d + z) * h + y) * wd + xx] = acc;
+                    od[(z * h + y) * wd + xx] = acc;
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -564,80 +584,79 @@ fn dw3_backward(x: &Tensor, w: &Tensor, g: &Tensor, k: usize, p: usize) -> (Tens
     let xd = x.data();
     let wdat = w.data();
     let gd = g.data();
-    {
-        let dxd = dx.data_mut();
-        for ci in 0..c {
-            let wbase = ci * k * k * k;
-            for z in 0..d {
-                for y in 0..h {
-                    for xx in 0..wd {
-                        let gv = gd[((ci * d + z) * h + y) * wd + xx];
-                        if gv == 0.0 {
+    let per_c = d * h * wd;
+    let _ = c;
+    // dX: channel ci's gradient scatters only into its own plane.
+    peb_par::parallel_chunks_mut(dx.data_mut(), per_c, |offset, dxd| {
+        let ci = offset / per_c;
+        let wbase = ci * k * k * k;
+        for z in 0..d {
+            for y in 0..h {
+                for xx in 0..wd {
+                    let gv = gd[((ci * d + z) * h + y) * wd + xx];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    for kz in 0..k {
+                        let iz = z as isize + kz as isize - p as isize;
+                        if iz < 0 || iz >= d as isize {
                             continue;
                         }
-                        for kz in 0..k {
-                            let iz = z as isize + kz as isize - p as isize;
-                            if iz < 0 || iz >= d as isize {
+                        for ky in 0..k {
+                            let iy = y as isize + ky as isize - p as isize;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            for ky in 0..k {
-                                let iy = y as isize + ky as isize - p as isize;
-                                if iy < 0 || iy >= h as isize {
+                            for kx in 0..k {
+                                let ix = xx as isize + kx as isize - p as isize;
+                                if ix < 0 || ix >= wd as isize {
                                     continue;
                                 }
-                                for kx in 0..k {
-                                    let ix = xx as isize + kx as isize - p as isize;
-                                    if ix < 0 || ix >= wd as isize {
-                                        continue;
-                                    }
-                                    dxd[((ci * d + iz as usize) * h + iy as usize) * wd
-                                        + ix as usize] +=
-                                        gv * wdat[wbase + (kz * k + ky) * k + kx];
-                                }
+                                dxd[(iz as usize * h + iy as usize) * wd + ix as usize] +=
+                                    gv * wdat[wbase + (kz * k + ky) * k + kx];
                             }
                         }
                     }
                 }
             }
         }
-    }
-    {
-        let dwd = dw.data_mut();
-        for ci in 0..c {
-            let wbase = ci * k * k * k;
-            for z in 0..d {
-                for y in 0..h {
-                    for xx in 0..wd {
-                        let gv = gd[((ci * d + z) * h + y) * wd + xx];
-                        if gv == 0.0 {
+    });
+    // dW: each channel accumulates its own k³ taps, in the sequential
+    // spatial order (accumulation order is thread-count independent).
+    peb_par::parallel_chunks_mut(dw.data_mut(), k * k * k, |offset, dwd| {
+        let ci = offset / (k * k * k);
+        for z in 0..d {
+            for y in 0..h {
+                for xx in 0..wd {
+                    let gv = gd[((ci * d + z) * h + y) * wd + xx];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    for kz in 0..k {
+                        let iz = z as isize + kz as isize - p as isize;
+                        if iz < 0 || iz >= d as isize {
                             continue;
                         }
-                        for kz in 0..k {
-                            let iz = z as isize + kz as isize - p as isize;
-                            if iz < 0 || iz >= d as isize {
+                        for ky in 0..k {
+                            let iy = y as isize + ky as isize - p as isize;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            for ky in 0..k {
-                                let iy = y as isize + ky as isize - p as isize;
-                                if iy < 0 || iy >= h as isize {
+                            for kx in 0..k {
+                                let ix = xx as isize + kx as isize - p as isize;
+                                if ix < 0 || ix >= wd as isize {
                                     continue;
                                 }
-                                for kx in 0..k {
-                                    let ix = xx as isize + kx as isize - p as isize;
-                                    if ix < 0 || ix >= wd as isize {
-                                        continue;
-                                    }
-                                    dwd[wbase + (kz * k + ky) * k + kx] += gv
-                                        * xd[((ci * d + iz as usize) * h + iy as usize) * wd
-                                            + ix as usize];
-                                }
+                                dwd[(kz * k + ky) * k + kx] += gv
+                                    * xd[((ci * d + iz as usize) * h + iy as usize) * wd
+                                        + ix as usize];
                             }
                         }
                     }
                 }
             }
         }
-    }
+    });
     (dx, dw)
 }
 
@@ -671,11 +690,7 @@ impl ConvTranspose2d {
         rng: &mut impl Rng,
     ) -> Self {
         let fan_in = cin * kernel * kernel;
-        let weight = Var::parameter(kaiming_uniform(
-            &[cin, cout, kernel, kernel],
-            fan_in,
-            rng,
-        ));
+        let weight = Var::parameter(kaiming_uniform(&[cin, cout, kernel, kernel], fan_in, rng));
         let bias = Var::parameter(Tensor::zeros(&[cout]));
         ConvTranspose2d {
             weight,
@@ -703,7 +718,11 @@ impl ConvTranspose2d {
     /// Panics if the channel count mismatches.
     pub fn forward(&self, x: &Var) -> Var {
         let xs = x.shape();
-        assert_eq!(xs[0], self.cin, "ConvTranspose2d expects {} channels", self.cin);
+        assert_eq!(
+            xs[0], self.cin,
+            "ConvTranspose2d expects {} channels",
+            self.cin
+        );
         let (h, w) = (xs[1], xs[2]);
         let (ho, wo) = self.output_hw(h, w);
         let (k, stride, pad, cin, cout) = (self.kernel, self.stride, self.pad, self.cin, self.cout);
@@ -854,25 +873,37 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let conv = Conv2d::new(2, 2, 3, 2, 1, true, &mut rng);
         let x0 = Tensor::randn(&[2, 5, 5], &mut rng);
-        let r = check_gradients(&Var::parameter(x0), |v| conv.forward(v).square().sum(), 1e-2);
+        let r = check_gradients(
+            &Var::parameter(x0),
+            |v| conv.forward(v).square().sum(),
+            1e-2,
+        );
         assert!(r.ok(3e-2), "input grad: {r:?}");
         // Weight gradient.
         let x = Var::constant(Tensor::randn(&[2, 5, 5], &mut rng));
         let w0 = conv.weight.value_clone();
-        let r = check_gradients(&Var::parameter(w0.clone()), |wv| {
-            conv.weight.set_value(wv.value_clone());
-            let out = conv.forward(&x).square().sum();
-            // Route gradient through the actual weight parameter by
-            // rebuilding: from_op parents reference conv.weight, so copy
-            // the computed gradient over.
-            out
-        }, 1e-2);
+        let r = check_gradients(
+            &Var::parameter(w0.clone()),
+            |wv| {
+                conv.weight.set_value(wv.value_clone());
+                let out = conv.forward(&x).square().sum();
+                // Route gradient through the actual weight parameter by
+                // rebuilding: from_op parents reference conv.weight, so copy
+                // the computed gradient over.
+                out
+            },
+            1e-2,
+        );
         // The closure above can't rebind parents; instead check weight grad
         // directly against numeric differentiation of the loss in w:
-        let numeric = peb_tensor::numeric_gradient(&w0, |wv| {
-            conv.weight.set_value(wv.value_clone());
-            conv.forward(&x).square().sum()
-        }, 1e-2);
+        let numeric = peb_tensor::numeric_gradient(
+            &w0,
+            |wv| {
+                conv.weight.set_value(wv.value_clone());
+                conv.forward(&x).square().sum()
+            },
+            1e-2,
+        );
         conv.weight.set_value(w0);
         conv.weight.zero_grad();
         conv.forward(&x).square().sum().backward();
@@ -893,7 +924,11 @@ mod tests {
         assert_eq!(conv.forward(&x).shape(), vec![3, 4, 3, 3]);
         let x0 = Tensor::randn(&[2, 3, 4, 4], &mut rng);
         let small = Conv3d::same(2, 2, 3, &mut rng);
-        let r = check_gradients(&Var::parameter(x0), |v| small.forward(v).square().sum(), 1e-2);
+        let r = check_gradients(
+            &Var::parameter(x0),
+            |v| small.forward(v).square().sum(),
+            1e-2,
+        );
         assert!(r.ok(3e-2), "{r:?}");
     }
 

@@ -90,9 +90,7 @@ mod tests {
         let mlp = Mlp::new(3, 8, &mut rng);
         let x = Tensor::randn(&[2, 3], &mut rng);
         let y1 = mlp.forward(&Var::constant(x.clone())).value_clone();
-        let y2 = mlp
-            .forward(&Var::constant(x.mul_scalar(2.0)))
-            .value_clone();
+        let y2 = mlp.forward(&Var::constant(x.mul_scalar(2.0))).value_clone();
         assert!(y2.max_abs_diff(&y1.mul_scalar(2.0)) > 1e-4);
     }
 }

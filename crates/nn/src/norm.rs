@@ -65,7 +65,11 @@ mod tests {
     fn output_is_standardised() {
         let mut rng = StdRng::seed_from_u64(15);
         let ln = LayerNorm::new(8);
-        let x = Var::constant(Tensor::randn(&[4, 8], &mut rng).mul_scalar(3.0).add_scalar(5.0));
+        let x = Var::constant(
+            Tensor::randn(&[4, 8], &mut rng)
+                .mul_scalar(3.0)
+                .add_scalar(5.0),
+        );
         let y = ln.forward(&x).value_clone();
         for row in 0..4 {
             let r = y.slice_axis(0, row, row + 1).unwrap();

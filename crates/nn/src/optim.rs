@@ -116,7 +116,9 @@ impl Optimizer for Adam {
                 .entry(p.id())
                 .or_insert_with(|| Tensor::zeros(g.shape()));
             *v = v.mul_scalar(self.beta2)
-                + g.zip_map(&g, |a, b| a * b).expect("grad square").mul_scalar(1.0 - self.beta2);
+                + g.zip_map(&g, |a, b| a * b)
+                    .expect("grad square")
+                    .mul_scalar(1.0 - self.beta2);
             let mhat = m.mul_scalar(1.0 / bc1);
             let vhat = v.mul_scalar(1.0 / bc2);
             let eps = self.eps;
@@ -214,7 +216,11 @@ mod tests {
             p.square().weighted_sum(&scale).backward();
             opt.step(std::slice::from_ref(&p));
         }
-        assert!(p.value().data().iter().all(|v| v.abs() < 0.05), "{:?}", p.value());
+        assert!(
+            p.value().data().iter().all(|v| v.abs() < 0.05),
+            "{:?}",
+            p.value()
+        );
     }
 
     #[test]

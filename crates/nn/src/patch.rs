@@ -32,14 +32,11 @@ impl OverlappedPatchEmbed {
     /// # Panics
     ///
     /// Panics if `kernel < stride` (patches would skip pixels).
-    pub fn new(
-        cin: usize,
-        cout: usize,
-        kernel: usize,
-        stride: usize,
-        rng: &mut impl Rng,
-    ) -> Self {
-        assert!(kernel >= stride, "kernel {kernel} must cover stride {stride}");
+    pub fn new(cin: usize, cout: usize, kernel: usize, stride: usize, rng: &mut impl Rng) -> Self {
+        assert!(
+            kernel >= stride,
+            "kernel {kernel} must cover stride {stride}"
+        );
         let pad = if kernel > stride { kernel / 2 } else { 0 };
         OverlappedPatchEmbed {
             proj: Conv2d::new(cin, cout, kernel, stride, pad, true, rng),

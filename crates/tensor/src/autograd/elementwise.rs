@@ -10,16 +10,10 @@ impl Var {
     ///
     /// Panics if the operand shapes do not broadcast.
     pub fn add(&self, other: &Var) -> Var {
-        let out = self
-            .value()
-            .add_t(&other.value())
-            .expect("Var::add shapes");
+        let out = self.value().add_t(&other.value()).expect("Var::add shapes");
         let (la, lb) = (self.shape(), other.shape());
         Var::from_op(out, vec![self.clone(), other.clone()], move |g| {
-            vec![
-                Some(g.reduce_to_shape(&la)),
-                Some(g.reduce_to_shape(&lb)),
-            ]
+            vec![Some(g.reduce_to_shape(&la)), Some(g.reduce_to_shape(&lb))]
         })
     }
 
@@ -29,10 +23,7 @@ impl Var {
     ///
     /// Panics if the operand shapes do not broadcast.
     pub fn sub(&self, other: &Var) -> Var {
-        let out = self
-            .value()
-            .sub_t(&other.value())
-            .expect("Var::sub shapes");
+        let out = self.value().sub_t(&other.value()).expect("Var::sub shapes");
         let (la, lb) = (self.shape(), other.shape());
         Var::from_op(out, vec![self.clone(), other.clone()], move |g| {
             vec![
@@ -48,10 +39,7 @@ impl Var {
     ///
     /// Panics if the operand shapes do not broadcast.
     pub fn mul(&self, other: &Var) -> Var {
-        let out = self
-            .value()
-            .mul_t(&other.value())
-            .expect("Var::mul shapes");
+        let out = self.value().mul_t(&other.value()).expect("Var::mul shapes");
         let (la, lb) = (self.shape(), other.shape());
         let (a, b) = (self.clone(), other.clone());
         Var::from_op(out, vec![self.clone(), other.clone()], move |g| {
@@ -73,10 +61,7 @@ impl Var {
     ///
     /// Panics if the operand shapes do not broadcast.
     pub fn div(&self, other: &Var) -> Var {
-        let out = self
-            .value()
-            .div_t(&other.value())
-            .expect("Var::div shapes");
+        let out = self.value().div_t(&other.value()).expect("Var::div shapes");
         let (la, lb) = (self.shape(), other.shape());
         let (a, b) = (self.clone(), other.clone());
         Var::from_op(out, vec![self.clone(), other.clone()], move |g| {
@@ -117,11 +102,7 @@ impl Var {
     ///
     /// `f` is the function, `df` its derivative given `(x, f(x))`. The
     /// building block for the activations below.
-    pub fn map_unary(
-        &self,
-        f: impl Fn(f32) -> f32,
-        df: impl Fn(f32, f32) -> f32 + 'static,
-    ) -> Var {
+    pub fn map_unary(&self, f: impl Fn(f32) -> f32, df: impl Fn(f32, f32) -> f32 + 'static) -> Var {
         let x = self.value_clone();
         let out = x.map(&f);
         let y = out.clone();
@@ -251,21 +232,15 @@ impl Var {
 
     /// Elementwise absolute value (subgradient 0 at the kink).
     pub fn abs(&self) -> Var {
-        self.map_unary(f32::abs, |x, _| {
-            if x == 0.0 {
-                0.0
-            } else {
-                x.signum()
-            }
-        })
+        self.map_unary(f32::abs, |x, _| if x == 0.0 { 0.0 } else { x.signum() })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Tensor;
     use crate::check_gradients;
+    use crate::Tensor;
 
     fn param(data: Vec<f32>) -> Var {
         let n = data.len();

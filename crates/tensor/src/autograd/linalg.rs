@@ -45,8 +45,8 @@ impl Var {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Tensor;
     use crate::check_gradients;
+    use crate::Tensor;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -76,9 +76,7 @@ mod tests {
     fn matmul_known_gradient() {
         // y = sum(A·B); dA = ones·Bᵀ (row sums of B broadcast).
         let a = Var::parameter(Tensor::ones(&[2, 2]));
-        let b = Var::constant(
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap(),
-        );
+        let b = Var::constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
         a.matmul(&b).sum().backward();
         assert_eq!(a.grad().unwrap().data(), &[3.0, 7.0, 3.0, 7.0]);
     }

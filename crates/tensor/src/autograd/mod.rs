@@ -108,7 +108,11 @@ impl Var {
                 grad: RefCell::new(None),
                 requires_grad,
                 parents: if requires_grad { parents } else { Vec::new() },
-                backward: if requires_grad { Some(Box::new(back)) } else { None },
+                backward: if requires_grad {
+                    Some(Box::new(back))
+                } else {
+                    None
+                },
             }),
         }
     }

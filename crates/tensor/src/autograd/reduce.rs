@@ -76,7 +76,11 @@ impl Var {
     pub fn softmax(&self, axis: usize) -> Var {
         let x = self.value_clone();
         let shape = x.shape().to_vec();
-        assert!(axis < shape.len(), "softmax axis {axis} rank {}", shape.len());
+        assert!(
+            axis < shape.len(),
+            "softmax axis {axis} rank {}",
+            shape.len()
+        );
         let outer: usize = shape[..axis].iter().product();
         let mid = shape[axis];
         let inner: usize = shape[axis + 1..].iter().product();
@@ -134,10 +138,7 @@ impl Var {
     /// Panics if shapes differ.
     pub fn weighted_sum(&self, w: &Tensor) -> Var {
         assert_eq!(self.shape(), w.shape(), "weighted_sum shape mismatch");
-        let prod = self
-            .value()
-            .zip_map(w, |a, b| a * b)
-            .expect("weighted_sum");
+        let prod = self.value().zip_map(w, |a, b| a * b).expect("weighted_sum");
         let out = Tensor::scalar(prod.sum());
         let w = w.clone();
         Var::from_op(out, vec![self.clone()], move |g| {

@@ -134,15 +134,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let w = Tensor::randn(&[3, 2, 2], &mut rng);
         let x = Var::parameter(Tensor::randn(&[2, 2, 3], &mut rng));
-        let report = check_gradients(
-            &x,
-            |v| v.permute(&[2, 0, 1]).weighted_sum(&w),
-            1e-2,
-        );
+        let report = check_gradients(&x, |v| v.permute(&[2, 0, 1]).weighted_sum(&w), 1e-2);
         assert!(report.ok(2e-2), "{report:?}");
         let report2 = check_gradients(
             &x,
-            |v| v.reshape(&[4, 3]).weighted_sum(&w.reshape(&[4, 3]).unwrap()),
+            |v| {
+                v.reshape(&[4, 3])
+                    .weighted_sum(&w.reshape(&[4, 3]).unwrap())
+            },
             1e-2,
         );
         assert!(report2.ok(2e-2), "{report2:?}");

@@ -148,15 +148,8 @@ mod tests {
         // <broadcast(x), g> == <x, reduce(g)> for linear broadcast.
         let x = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]).unwrap();
         let g = Tensor::from_vec((0..6).map(|i| i as f32 * 0.3).collect(), &[2, 3]).unwrap();
-        let bx = Tensor::zeros(&[2, 3])
-            .broadcast_zip(&x, |_, b| b)
-            .unwrap();
-        let lhs: f32 = bx
-            .data()
-            .iter()
-            .zip(g.data())
-            .map(|(a, b)| a * b)
-            .sum();
+        let bx = Tensor::zeros(&[2, 3]).broadcast_zip(&x, |_, b| b).unwrap();
+        let lhs: f32 = bx.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
         let rg = g.reduce_to_shape(&[3]);
         let rhs: f32 = x.data().iter().zip(rg.data()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-5);

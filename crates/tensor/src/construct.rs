@@ -56,7 +56,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = Tensor::randn(&[10_000], &mut rng);
         let mean = t.data().iter().sum::<f32>() / t.len() as f32;
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

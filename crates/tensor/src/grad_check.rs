@@ -49,9 +49,7 @@ pub fn check_gradients(x: &Var, f: impl Fn(&Var) -> Var, eps: f32) -> GradCheckR
     let leaf = Var::parameter(x.value_clone());
     let y = f(&leaf);
     y.backward();
-    let analytic = leaf
-        .grad()
-        .unwrap_or_else(|| Tensor::zeros(&leaf.shape()));
+    let analytic = leaf.grad().unwrap_or_else(|| Tensor::zeros(&leaf.shape()));
     let numeric = numeric_gradient(&x.value(), &f, eps);
     let mut max_rel = 0f32;
     for (&a, &n) in analytic.data().iter().zip(numeric.data()) {

@@ -1,0 +1,139 @@
+//! Low-level GEMM kernels.
+//!
+//! Two kernels share one floating-point contract: every output element
+//! accumulates its `k` products in strictly ascending `k` order, so the
+//! naive reference, the cache-blocked kernel, and the parallel row-panel
+//! driver in [`crate::Tensor::matmul`] all produce bitwise-identical sums
+//! for finite inputs at any thread count.
+
+/// Rows per panel; also the parallel chunk size, so chunk boundaries are a
+/// function of `m` only — never of the thread count.
+pub const MC: usize = 64;
+/// `k`-dimension block: one `KC x NC` panel of `b` stays hot in L2 while a
+/// row panel streams over it.
+pub const KC: usize = 256;
+/// `n`-dimension block bounding the working set of `out` rows in L1.
+pub const NC: usize = 1024;
+
+/// Reference ikj kernel (the pre-blocking implementation), kept for
+/// benchmarking against [`matmul_blocked`] and for differential tests.
+///
+/// `out += a[m×k] · b[k×n]`, `out` pre-zeroed by the caller.
+pub fn matmul_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Cache-blocked (`MC`×`KC`×`NC`) kernel: `out += a[m×k] · b[k×n]`, `out`
+/// pre-zeroed by the caller.
+///
+/// Loop order is `jc → kc → ic → i → kk → j` (BLIS-style), which keeps a
+/// `KC×NC` panel of `b` resident while `MC` rows of `a` stream over it.
+/// For each output element the `kc` blocks and the `kk` offsets within
+/// them both ascend, so the accumulation order — and the floating-point
+/// result — is identical to [`matmul_naive`].
+pub fn matmul_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if k <= KC && n <= NC {
+        // One block covers the whole problem: the blocking loops would be
+        // pure overhead, and the streaming kernel already accumulates in
+        // the same (ascending-k) order.
+        return matmul_naive(a, b, out, m, k, n);
+    }
+    for jc in (0..n).step_by(NC) {
+        let nb = NC.min(n - jc);
+        for kc in (0..k).step_by(KC) {
+            let kb = KC.min(k - kc);
+            for ic in (0..m).step_by(MC) {
+                let mb = MC.min(m - ic);
+                for i in ic..ic + mb {
+                    let arow = &a[i * k + kc..i * k + kc + kb];
+                    let orow = &mut out[i * n + jc..i * n + jc + nb];
+                    for (kk, &av) in arow.iter().enumerate() {
+                        let brow = &b[(kc + kk) * n + jc..(kc + kk) * n + jc + nb];
+                        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parallel GEMM driver: `out += a[m×k] · b[k×n]`, `out` pre-zeroed.
+///
+/// Splits `m` into fixed [`MC`]-row panels and fans them out over the
+/// [`peb_par`] pool; each panel runs [`matmul_blocked`] on its disjoint
+/// slice of `out`, so results are bitwise identical at any thread count.
+pub fn matmul_par(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let slots = peb_par::UnsafeSlice::new(out);
+    peb_par::parallel_chunks(m, MC, |rows| {
+        let sub_a = &a[rows.start * k..rows.end * k];
+        // SAFETY: row panels are disjoint by construction.
+        let sub_out = unsafe { slots.slice_mut(rows.start * n..rows.end * n) };
+        matmul_blocked(sub_a, b, sub_out, rows.len(), k, n);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(len: usize, salt: u32) -> Vec<f32> {
+        // Cheap deterministic fill with varied magnitudes (no RNG dep).
+        (0..len)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                (x as f32 / u32::MAX as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise() {
+        // Cover: within one block, straddling MC/KC/NC boundaries, thin
+        // and wide shapes.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (65, 300, 17), (130, 7, 1030)] {
+            let a = pseudo(m * k, 1);
+            let b = pseudo(k * n, 2);
+            let mut naive = vec![0f32; m * n];
+            let mut blocked = vec![0f32; m * n];
+            matmul_naive(&a, &b, &mut naive, m, k, n);
+            matmul_blocked(&a, &b, &mut blocked, m, k, n);
+            for (x, y) in naive.iter().zip(blocked.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let (m, k, n) = (150, 64, 33);
+        let a = pseudo(m * k, 3);
+        let b = pseudo(k * n, 4);
+        let mut seq = vec![0f32; m * n];
+        let mut par = vec![0f32; m * n];
+        peb_par::with_thread_count(1, || matmul_par(&a, &b, &mut seq, m, k, n));
+        peb_par::with_thread_count(4, || matmul_par(&a, &b, &mut par, m, k, n));
+        for (x, y) in seq.iter().zip(par.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

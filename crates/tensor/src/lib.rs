@@ -34,6 +34,7 @@ mod construct;
 mod elementwise;
 mod error;
 mod grad_check;
+pub mod kernels;
 mod matmul;
 mod reduce;
 mod shape;

@@ -1,12 +1,14 @@
 //! Dense matrix multiplication (2-D and batched 3-D).
 
+use crate::kernels;
 use crate::{Result, Tensor, TensorError};
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
     ///
-    /// Uses a cache-friendly ikj loop order; adequate for the model sizes in
-    /// this workspace (hundreds of channels).
+    /// Runs the cache-blocked kernel from [`crate::kernels`] with row
+    /// panels spread over the `peb-par` pool; bitwise identical at any
+    /// `PEB_THREADS`.
     ///
     /// # Errors
     ///
@@ -44,33 +46,46 @@ impl Tensor {
         }
         let (b, m, k, n) = (ls[0], ls[1], ls[2], rs[2]);
         let mut out = vec![0f32; b * m * n];
-        for bi in 0..b {
+        // Batches are independent; when there is only one, run_parallel
+        // falls through without entering a parallel region, so the inner
+        // GEMM still parallelises over its row panels.
+        peb_par::parallel_chunks_mut(&mut out, m * n, |offset, chunk| {
+            let bi = offset / (m * n);
             matmul_into(
                 &self.data()[bi * m * k..(bi + 1) * m * k],
                 &other.data()[bi * k * n..(bi + 1) * k * n],
-                &mut out[bi * m * n..(bi + 1) * m * n],
+                chunk,
                 m,
                 k,
                 n,
             );
-        }
+        });
         Tensor::from_vec(out, &[b, m, n])
     }
 
-    /// Transpose of a rank-2 tensor.
+    /// Transpose of a rank-2 tensor, copied through 32×32 tiles so both
+    /// the gather and the scatter stay within one cache-line-friendly
+    /// block.
     ///
     /// # Panics
     ///
     /// Panics if the tensor is not rank-2 (use [`Tensor::permute`] for
     /// general axis permutations).
     pub fn transpose2(&self) -> Self {
+        const TB: usize = 32;
         assert_eq!(self.rank(), 2, "transpose2 requires a matrix");
         let (m, n) = (self.shape()[0], self.shape()[1]);
         let src = self.data();
         let mut out = vec![0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = src[i * n + j];
+        for ib in (0..m).step_by(TB) {
+            let ie = (ib + TB).min(m);
+            for jb in (0..n).step_by(TB) {
+                let je = (jb + TB).min(n);
+                for i in ib..ie {
+                    for j in jb..je {
+                        out[j * m + i] = src[i * n + j];
+                    }
+                }
             }
         }
         Tensor::from_vec(out, &[n, m]).expect("transpose2 length")
@@ -79,22 +94,7 @@ impl Tensor {
 
 /// `out += a[m×k] · b[k×n]` with `out` pre-zeroed by the caller.
 pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
-    }
+    kernels::matmul_par(a, b, out, m, k, n);
 }
 
 #[cfg(test)]
@@ -130,10 +130,8 @@ mod tests {
         let b = Tensor::from_vec((0..12).map(|x| (x as f32) * 0.5).collect(), &[2, 3, 2]).unwrap();
         let c = a.bmm(&b).unwrap();
         for bi in 0..2 {
-            let asub =
-                Tensor::from_vec(a.data()[bi * 6..(bi + 1) * 6].to_vec(), &[2, 3]).unwrap();
-            let bsub =
-                Tensor::from_vec(b.data()[bi * 6..(bi + 1) * 6].to_vec(), &[3, 2]).unwrap();
+            let asub = Tensor::from_vec(a.data()[bi * 6..(bi + 1) * 6].to_vec(), &[2, 3]).unwrap();
+            let bsub = Tensor::from_vec(b.data()[bi * 6..(bi + 1) * 6].to_vec(), &[3, 2]).unwrap();
             let csub = asub.matmul(&bsub).unwrap();
             assert_eq!(&c.data()[bi * 4..(bi + 1) * 4], csub.data());
         }

@@ -27,7 +27,10 @@ impl Tensor {
     /// Panics on an empty tensor.
     pub fn max_value(&self) -> f32 {
         assert!(!self.is_empty(), "max_value of empty tensor");
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.
@@ -73,16 +76,16 @@ impl Tensor {
     ///
     /// Returns [`TensorError::AxisOutOfRange`] for an invalid axis.
     pub fn mean_axis(&self, axis: usize) -> Result<Self> {
-        let n = *self
-            .shape()
-            .get(axis)
-            .ok_or(TensorError::AxisOutOfRange {
-                axis,
-                rank: self.rank(),
-            })? as f64;
-        self.reduce_axis(axis, |acc, v| acc + v as f64, 0.0, move |acc, _| {
-            (acc / n) as f32
-        })
+        let n = *self.shape().get(axis).ok_or(TensorError::AxisOutOfRange {
+            axis,
+            rank: self.rank(),
+        })? as f64;
+        self.reduce_axis(
+            axis,
+            |acc, v| acc + v as f64,
+            0.0,
+            move |acc, _| (acc / n) as f32,
+        )
     }
 
     /// Maximum over one axis, removing it from the shape.

@@ -36,8 +36,16 @@ pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Shape> {
     let rank = lhs.len().max(rhs.len());
     let mut out = vec![0usize; rank];
     for i in 0..rank {
-        let l = if i < lhs.len() { lhs[lhs.len() - 1 - i] } else { 1 };
-        let r = if i < rhs.len() { rhs[rhs.len() - 1 - i] } else { 1 };
+        let l = if i < lhs.len() {
+            lhs[lhs.len() - 1 - i]
+        } else {
+            1
+        };
+        let r = if i < rhs.len() {
+            rhs[rhs.len() - 1 - i]
+        } else {
+            1
+        };
         out[rank - 1 - i] = if l == r {
             l
         } else if l == 1 {

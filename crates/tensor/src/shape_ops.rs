@@ -228,10 +228,7 @@ impl Tensor {
     pub fn upsample2_nearest(&self, factor: usize) -> Result<Self> {
         if self.rank() < 2 || factor == 0 {
             return Err(TensorError::Invalid {
-                detail: format!(
-                    "upsample2_nearest: rank {} factor {factor}",
-                    self.rank()
-                ),
+                detail: format!("upsample2_nearest: rank {} factor {factor}", self.rank()),
             });
         }
         let rank = self.rank();

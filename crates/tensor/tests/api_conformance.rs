@@ -54,9 +54,7 @@ fn error_messages_are_lowercase_without_trailing_punctuation() {
             rhs: vec![2],
         },
         TensorError::AxisOutOfRange { axis: 5, rank: 2 },
-        TensorError::IndexOutOfBounds {
-            detail: "x".into(),
-        },
+        TensorError::IndexOutOfBounds { detail: "x".into() },
         TensorError::Invalid { detail: "y".into() },
     ];
     for e in errors {

@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mask_cfg = MaskConfig::demo(grid.nx);
     mask_cfg.style = ClipStyle::Staggered;
     let clip = mask_cfg.generate(11)?;
-    println!("== mask clip ({} contacts, {:?}) ==", clip.contacts.len(), clip.style);
+    println!(
+        "== mask clip ({} contacts, {:?}) ==",
+        clip.contacts.len(),
+        clip.style
+    );
     print!("{}", heatmap(&clip.pattern));
 
     let flow = LithoFlow::new(grid);
@@ -65,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n== CD metrology at the bottom layer ==");
-    println!("{:<12} {:>9} {:>9} {:>7}", "centre", "CDx/nm", "CDy/nm", "open");
+    println!(
+        "{:<12} {:>9} {:>9} {:>7}",
+        "centre", "CDx/nm", "CDy/nm", "open"
+    );
     for cd in &sim.cds {
         println!(
             "{:<12} {:>9.1} {:>9.1} {:>7}",

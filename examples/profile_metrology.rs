@@ -30,12 +30,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("fast-sweeping vs fast-iterative arrival agreement: {max_rel:.4} max rel diff");
 
     // Vertical profile metrics per contact.
-    println!("\nper-contact vertical profiles at t_dev = {} s:", flow.mack.duration);
+    println!(
+        "\nper-contact vertical profiles at t_dev = {} s:",
+        flow.mack.duration
+    );
     println!(
         "{:<10} {:>8} {:>10} {:>9} {:>11} {:>8}",
         "contact", "top/nm", "bottom/nm", "ratio", "sidewall/°", "through"
     );
-    let profiles = measure_contact_profiles(&grid, &sim.arrival, flow.mack.duration, &clip.contacts)?;
+    let profiles =
+        measure_contact_profiles(&grid, &sim.arrival, flow.mack.duration, &clip.contacts)?;
     for (i, p) in profiles.iter().enumerate() {
         println!(
             "{:<10} {:>8.1} {:>10.1} {:>9.2} {:>11.1} {:>8}",
@@ -61,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ndeveloped volume fraction vs development time:");
     for t in (0..=6).map(|i| i as f32 * 10.0) {
         let f = developed_fraction(&sim.arrival, t) * 100.0;
-        println!("  t = {t:>4.0} s: {f:>5.1}%  {}", "#".repeat(f as usize / 2));
+        println!(
+            "  t = {t:>4.0} s: {f:>5.1}%  {}",
+            "#".repeat(f as usize / 2)
+        );
     }
     Ok(())
 }

@@ -10,8 +10,7 @@ use rand::SeedableRng;
 
 use peb_litho::{Grid, LithoFlow, MaskConfig};
 use sdm_peb::{
-    nrmse, rmse, LabelTransform, PebLoss, PebPredictor, SdmPeb, SdmPebConfig, TrainConfig,
-    Trainer,
+    nrmse, rmse, LabelTransform, PebLoss, PebPredictor, SdmPeb, SdmPebConfig, TrainConfig, Trainer,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,7 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw_target = label.encode(&sim.inhibitor);
     let (mean, std) = (raw_target.mean(), {
         let m = raw_target.mean();
-        (raw_target.map(|v| (v - m) * (v - m)).mean()).sqrt().max(1e-6)
+        (raw_target.map(|v| (v - m) * (v - m)).mean())
+            .sqrt()
+            .max(1e-6)
     });
     let target = raw_target.map(|v| (v - mean) / std);
 

@@ -30,7 +30,10 @@ fn main() {
     );
     println!("impulse response of the SSM (A = −1, Δ = 0.4):");
     for (t, v) in y.value().data().iter().enumerate() {
-        println!("  t={t}: {v:+.4}  {}", "▇".repeat((v.abs() * 40.0) as usize));
+        println!(
+            "  t={t}: {v:+.4}  {}",
+            "▇".repeat((v.abs() * 40.0) as usize)
+        );
     }
 
     // 2. The three scan orderings on a small (D=2, H=2, W=3) volume.

@@ -10,9 +10,7 @@ use peb_data::{augment_with_flips, Dataset, DatasetConfig, LabelStats};
 use peb_litho::Grid;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sdm_peb::{
-    nrmse, LabelTransform, PebPredictor, SdmPeb, SdmPebConfig, TrainConfig, Trainer,
-};
+use sdm_peb::{nrmse, LabelTransform, PebPredictor, SdmPeb, SdmPebConfig, TrainConfig, Trainer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A very small dataset so the example finishes in ~2 minutes.

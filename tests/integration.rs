@@ -94,7 +94,11 @@ fn baselines_implement_the_same_interface() {
     for model in &models {
         let pred = model.predict(&ds.test[0].acid0);
         assert_eq!(pred.shape(), &ds.grid.shape3(), "{}", model.name());
-        assert!(pred.data().iter().all(|v| v.is_finite()), "{}", model.name());
+        assert!(
+            pred.data().iter().all(|v| v.is_finite()),
+            "{}",
+            model.name()
+        );
     }
 }
 

@@ -1,0 +1,332 @@
+//! Offline-vendored minimal criterion-compatible benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API used by this workspace's
+//! benches (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `sample_size`, `iter`) with plain wall-clock measurement,
+//! and adds a JSON emission path so the repo's performance trajectory can be
+//! recorded per PR:
+//!
+//! * every bench binary writes `BENCH_<name>.json` (for a `bench_kernels`
+//!   target, `BENCH_kernels.json`) into the invocation directory, or into
+//!   `$PEB_BENCH_JSON` when that env var names a directory;
+//! * `$PEB_BENCH_FAST=1` caps measurement at one sample per benchmark for
+//!   smoke runs.
+//!
+//! Measurement model: one untimed warmup iteration, then `sample_size`
+//! samples, each timing a batch of iterations sized so a sample takes
+//! roughly [`TARGET_SAMPLE_NANOS`]; slow benchmarks degrade gracefully to
+//! one iteration per sample.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box` (benches here use
+/// `std::hint::black_box` directly, but keep the name available).
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE_NANOS: u128 = 25_000_000;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Top-level harness state; mirrors `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Prints the summary table and writes the JSON report.
+    ///
+    /// Called by [`criterion_main!`]; `bench_name` is the bench target name
+    /// (e.g. `bench_kernels`), used to derive the JSON file name.
+    pub fn final_summary(&self, bench_name: &str) {
+        let mut table = String::new();
+        for r in &self.records {
+            let _ = writeln!(
+                table,
+                "{:<28} {:<24} mean {:>12.1} ns  min {:>12.1} ns  ({} samples x {} iters)",
+                r.group, r.id, r.mean_ns, r.min_ns, r.samples, r.iters_per_sample
+            );
+        }
+        println!("{table}");
+        let path = json_path(bench_name);
+        match std::fs::write(&path, self.to_json(bench_name)) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    fn to_json(&self, bench_name: &str) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"{bench_name}\",");
+        let _ = writeln!(out, "  \"threads\": {},", env_threads());
+        let _ = writeln!(out, "  \"results\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 == self.records.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{comma}",
+                escape(&r.group),
+                escape(&r.id),
+                r.mean_ns,
+                r.min_ns,
+                r.samples
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn env_threads() -> usize {
+    std::env::var("PEB_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn json_path(bench_name: &str) -> PathBuf {
+    let stem = bench_name.strip_prefix("bench_").unwrap_or(bench_name);
+    let file = format!("BENCH_{stem}.json");
+    match std::env::var("PEB_BENCH_JSON") {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir).join(file),
+        _ => PathBuf::from(file),
+    }
+}
+
+/// A group of related benchmarks; mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benches a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        self.record(id, bencher);
+        self
+    }
+
+    /// Benches a closure that receives `input`; the input only
+    /// disambiguates the id here.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        self.record(id, bencher);
+        self
+    }
+
+    /// Ends the group (statistics are recorded eagerly; kept for API
+    /// compatibility).
+    pub fn finish(&mut self) {}
+
+    fn record(&mut self, id: BenchmarkId, bencher: Bencher) {
+        if let Some(m) = bencher.measurement {
+            self.criterion.records.push(BenchRecord {
+                group: self.name.clone(),
+                id: id.0,
+                mean_ns: m.mean_ns,
+                min_ns: m.min_ns,
+                samples: m.samples,
+                iters_per_sample: m.iters,
+            });
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters: u64,
+}
+
+/// Runs and times the benchmark body; mirrors `criterion::Bencher`.
+pub struct Bencher {
+    sample_size: usize,
+    measurement: Option<Measurement>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        let fast = std::env::var("PEB_BENCH_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        Bencher {
+            sample_size: if fast { 1 } else { sample_size },
+            measurement: None,
+        }
+    }
+
+    /// Times `f`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Untimed warmup that also provides a cost estimate.
+        let warm = Instant::now();
+        black_box(f());
+        let est = warm.elapsed().as_nanos().max(1);
+        let iters = (TARGET_SAMPLE_NANOS / est).clamp(1, 1_000_000) as u64;
+        let mut total: u128 = 0;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos();
+            total += ns;
+            min = min.min(ns as f64 / iters as f64);
+        }
+        self.measurement = Some(Measurement {
+            mean_ns: total as f64 / (self.sample_size as u64 * iters) as f64,
+            min_ns: min,
+            samples: self.sample_size,
+            iters,
+        });
+    }
+}
+
+/// Declares a group-runner function; mirrors `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`; mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary(env!("CARGO_CRATE_NAME"));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            g.bench_function("sum", |b| {
+                b.iter(|| (0..100u64).sum::<u64>());
+            });
+            g.bench_with_input(BenchmarkId::from_parameter(42), &42u32, |b, &n| {
+                b.iter(|| n * 2);
+            });
+            g.finish();
+        }
+        assert_eq!(c.records.len(), 2);
+        assert!(c.records[0].mean_ns > 0.0);
+        assert_eq!(c.records[1].id, "42");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut c = Criterion::default();
+        c.records.push(BenchRecord {
+            group: "g".into(),
+            id: "x/1".into(),
+            mean_ns: 12.5,
+            min_ns: 10.0,
+            samples: 3,
+            iters_per_sample: 100,
+        });
+        let j = c.to_json("bench_demo");
+        assert!(j.contains("\"bench\": \"bench_demo\""));
+        assert!(j.contains("\"mean_ns\": 12.5"));
+    }
+}

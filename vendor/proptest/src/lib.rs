@@ -1,0 +1,260 @@
+//! Offline-vendored minimal subset of the `proptest` API.
+//!
+//! Supports the workspace's usage: the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header, range strategies over integers and
+//! floats, [`prop::collection::vec`], and the `prop_assert!` /
+//! `prop_assert_eq!` assertion macros.
+//!
+//! Unlike real proptest there is no shrinking and no failure persistence:
+//! each test runs `cases` deterministic pseudo-random cases (seeded from the
+//! test's name), and the first failing case panics with its case index.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration; mirrors `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure raised by `prop_assert!`-style macros inside a case body.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A source of random values; mirrors `proptest::strategy::Strategy` minus
+/// shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! numeric_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+/// Strategy produced by [`prop::collection::vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: RangeInclusive<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Conversion into a length range for [`prop::collection::vec`].
+pub trait IntoSizeRange {
+    /// The inclusive length range.
+    fn into_size_range(self) -> RangeInclusive<usize>;
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> RangeInclusive<usize> {
+        self..=self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn into_size_range(self) -> RangeInclusive<usize> {
+        assert!(self.start < self.end, "empty size range");
+        self.start..=self.end - 1
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn into_size_range(self) -> RangeInclusive<usize> {
+        self
+    }
+}
+
+/// Strategy combinators namespace; mirrors the parts of `proptest::prop`
+/// the workspace uses.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{IntoSizeRange, Strategy, VecStrategy};
+
+        /// Generates `Vec`s whose length is drawn from `len` and whose
+        /// elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                len: len.into_size_range(),
+            }
+        }
+    }
+}
+
+/// Deterministically seeds the runner for one named test.
+pub fn runner_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Everything a test file needs; mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError};
+}
+
+/// Declares property tests; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::runner_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)*
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!("proptest case {}/{} failed: {}", case + 1, config.cases, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// In-case assertion; mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// In-case equality assertion; mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}): {}",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..7, y in -1.0f32..1.0) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u64..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+            prop_assert_eq!(v.iter().filter(|&&x| x >= 10).count(), 0);
+        }
+    }
+
+    #[test]
+    fn config_cases() {
+        assert_eq!(ProptestConfig::with_cases(5).cases, 5);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline-vendored `serde` facade.
+//!
+//! The workspace currently only *derives* `Serialize`/`Deserialize` — no code
+//! path performs actual serialization — so the traits are empty markers and
+//! the derives expand to nothing. If a future PR adds real (de)serialization,
+//! replace this facade with the actual crate (see vendor/README.md).
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

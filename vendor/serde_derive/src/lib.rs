@@ -1,0 +1,19 @@
+//! No-op derive macros backing the vendored `serde` facade.
+//!
+//! The derives intentionally expand to nothing: the workspace never calls
+//! into serde's data model, it only annotates types. Deriving a trait that
+//! is then never implemented is fine because no bound anywhere requires it.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
