@@ -68,4 +68,6 @@ fn main() {
     );
     let _ = (acid_profile, inhibitor_profile);
     println!("[fig4] wrote target/figures/fig4_*.pgm and fig4_depth_profiles.csv");
+
+    peb_bench::emit_profile("fig4");
 }

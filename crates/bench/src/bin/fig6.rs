@@ -46,4 +46,6 @@ fn main() {
          (paper: 'can even differ by several orders of magnitude')",
         (max / min_nonzero).log10()
     );
+
+    peb_bench::emit_profile("fig6");
 }

@@ -53,4 +53,6 @@ fn main() {
             ""
         }
     );
+
+    peb_bench::emit_profile("fig7");
 }

@@ -66,4 +66,6 @@ fn main() {
         );
     }
     println!("[fig8] wrote target/figures/fig8_*.pgm (truth / pred / diff × top / bottom)");
+
+    peb_bench::emit_profile("fig8");
 }

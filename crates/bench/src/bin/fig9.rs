@@ -71,4 +71,6 @@ fn main() {
         println!("  layer {k:>2}: {:.4}", sdm_peb::rmse(&pr, &gt));
     }
     println!("[fig9] wrote target/figures/fig9_*.pgm");
+
+    peb_bench::emit_profile("fig9");
 }

@@ -193,4 +193,6 @@ fn main() {
         sim.cds.iter().filter(|c| c.open).count(),
         args.out.display()
     );
+
+    peb_bench::emit_profile("simulate");
 }

@@ -81,4 +81,6 @@ fn main() {
     if (tempo.runtime_s - slowest).abs() < 1e-6 {
         println!("[shape] TEMPO-resist is the slowest learned model — matches the paper");
     }
+
+    peb_bench::emit_profile("table2");
 }

@@ -55,4 +55,6 @@ fn main() {
         "\n[shape] {worse}/4 ablations degrade inhibitor NRMSE vs the full model \
          (paper: 4/4)"
     );
+
+    peb_bench::emit_profile("table3");
 }

@@ -19,3 +19,21 @@ pub use eval::{evaluate_model, evaluate_rigorous_baseline, predict_inhibitor, Ev
 pub use models::{build_model, train_models, ModelKind, TrainedModel};
 pub use prepare::{prepare_dataset, prepare_flow};
 pub use render::{format_row, render_table, PAPER_TABLE2, PAPER_TABLE3};
+
+/// Writes the `peb-obs` JSON profile for this binary when
+/// `PEB_TRACE=json` is active, alongside the binary's regular outputs.
+///
+/// The default path is `PROFILE_<tag>.json`; `PEB_TRACE_OUT` overrides
+/// it. Other trace modes are untouched (in `summary` mode the table
+/// still prints to stderr at exit through the `peb-obs` hook), so the
+/// call is safe to keep unconditionally at the end of every `main`.
+pub fn emit_profile(tag: &str) {
+    if peb_obs::mode() != peb_obs::TraceMode::Json {
+        return;
+    }
+    let path = std::env::var("PEB_TRACE_OUT").unwrap_or_else(|_| format!("PROFILE_{tag}.json"));
+    match peb_obs::write_json(&path) {
+        Ok(()) => eprintln!("[{tag}] peb-obs profile written to {path}"),
+        Err(e) => eprintln!("[{tag}] failed to write profile {path}: {e}"),
+    }
+}

@@ -7,7 +7,10 @@
 //! at both thread counts through `peb_par::with_thread_count` and compare
 //! exact bit patterns.
 
-use peb_litho::{Grid, PebParams, PebSolver, TimeScheme};
+use peb_litho::{
+    measure_contact_cds, solve_eikonal, EikonalConfig, Grid, MackParams, MaskConfig, PebParams,
+    PebSolver, TimeScheme,
+};
 use peb_mamba::{selective_scan, selective_scan_chunked};
 use peb_nn::{Conv2d, Parameterized};
 use peb_tensor::{Tensor, Var};
@@ -105,6 +108,46 @@ fn selective_scan_is_bitwise_deterministic() {
         })
     };
     assert_bits_eq(&chunked(1), &chunked(4), "selective_scan_chunked");
+}
+
+#[test]
+fn eikonal_and_metrology_are_bitwise_deterministic() {
+    // Development + CD extraction must close the determinism contract
+    // end to end: inhibitor → Mack rate → eikonal arrival → contact CDs.
+    let grid = Grid::small();
+    let clip = MaskConfig::demo(grid.nx).generate(42).unwrap();
+    let mut rng = StdRng::seed_from_u64(1006);
+    let inhibitor = Tensor::rand_uniform(&grid.shape3(), 0.05, 1.0, &mut rng);
+    let mack = MackParams::paper();
+    let run = || {
+        let rate = mack.rate_field(&inhibitor);
+        let arrival = solve_eikonal(&grid, &rate, EikonalConfig::default()).unwrap();
+        let cds = measure_contact_cds(&grid, &arrival, 30.0, &clip.contacts, grid.nz - 1).unwrap();
+        (arrival, cds)
+    };
+    let (s1, cds1) = at_threads(1, run);
+    let (s4, cds4) = at_threads(4, run);
+    assert_bits_eq(&s1, &s4, "eikonal arrival");
+    assert_eq!(cds1.len(), cds4.len(), "contact count");
+    assert!(!cds1.is_empty(), "demo clip produced no contacts");
+    for (i, (a, b)) in cds1.iter().zip(&cds4).enumerate() {
+        assert_eq!(
+            a.cd_x_nm.to_bits(),
+            b.cd_x_nm.to_bits(),
+            "contact {i} cd_x: {} vs {}",
+            a.cd_x_nm,
+            b.cd_x_nm
+        );
+        assert_eq!(
+            a.cd_y_nm.to_bits(),
+            b.cd_y_nm.to_bits(),
+            "contact {i} cd_y: {} vs {}",
+            a.cd_y_nm,
+            b.cd_y_nm
+        );
+        assert_eq!(a.open, b.open, "contact {i} open flag");
+        assert_eq!(a.centre, b.centre, "contact {i} centre");
+    }
 }
 
 #[test]

@@ -156,6 +156,7 @@ impl PebLoss {
 
     /// Eq. 22: the full combined loss as a differentiable node.
     pub fn combined(&self, pred: &Var, target: &Tensor) -> Var {
+        let _span = peb_obs::span("train.loss");
         let mut total: Option<Var> = None;
         let mut add = |term: Var| {
             total = Some(match total.take() {

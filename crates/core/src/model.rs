@@ -261,6 +261,7 @@ impl SdmPeb {
     ///
     /// Panics if `acid` does not match the configured input dimensions.
     pub fn forward(&self, acid: &Tensor) -> Var {
+        let _span = peb_obs::span("model.forward");
         let (d, h, w) = self.config.input_dims;
         assert_eq!(acid.shape(), [d, h, w], "input dims mismatch");
         let input = Var::constant(acid.reshape(&[1, d, h, w]).expect("input reshape"));

@@ -17,6 +17,7 @@ pub trait PebPredictor: Parameterized {
 
     /// Inference: returns the label-space prediction tensor.
     fn predict(&self, acid: &Tensor) -> Tensor {
+        let _span = peb_obs::span("model.predict");
         self.forward_train(acid).value_clone()
     }
 }

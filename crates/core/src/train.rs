@@ -92,6 +92,7 @@ impl Trainer {
     /// Panics if `data` is empty.
     pub fn fit(&self, model: &dyn PebPredictor, data: &[(Tensor, Tensor)]) -> TrainReport {
         assert!(!data.is_empty(), "training set is empty");
+        let _span = peb_obs::span("train.fit");
         let start = Instant::now();
         let params = model.parameters();
         let mut opt = Adam::new(self.config.base_lr);
@@ -99,6 +100,7 @@ impl Trainer {
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
+            let _epoch_span = peb_obs::span("train.epoch");
             opt.set_lr(self.config.base_lr * self.config.schedule.lr_at(epoch));
             order.shuffle(&mut rng);
             let mut epoch_loss = 0f64;

@@ -17,7 +17,7 @@ use crate::fftnd::{fft2d, fft3d, ifft2d, ifft3d, ComplexField};
 ///
 /// # Errors
 ///
-/// Returns [`FftError`] on non-power-of-two extents.
+/// Returns [`FftError`] on empty extents.
 ///
 /// # Panics
 ///
@@ -34,7 +34,7 @@ pub fn convolve2d_periodic(signal: &Tensor, kernel: &Tensor) -> Result<Tensor, F
 ///
 /// # Errors
 ///
-/// Returns [`FftError`] on non-power-of-two extents.
+/// Returns [`FftError`] on empty extents.
 ///
 /// # Panics
 ///

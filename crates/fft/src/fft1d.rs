@@ -1,4 +1,11 @@
-//! Iterative radix-2 decimation-in-time FFT.
+//! 1-D FFT: iterative radix-2 for power-of-two lengths, Bluestein's
+//! chirp-z algorithm for everything else.
+//!
+//! Bluestein rewrites the DFT as a convolution,
+//! `X[k] = w^{k²/2} Σ_t (x[t]·w^{t²/2}) · w^{-(k-t)²/2}`, which is
+//! evaluated with power-of-two FFTs of length `m ≥ 2n−1`. The quadratic
+//! chirp exponents are reduced `k² mod 2n` in integer arithmetic before
+//! touching `f32`, which keeps the twiddle phase accurate for any length.
 
 use std::error::Error;
 use std::fmt;
@@ -8,18 +15,28 @@ use crate::Complex;
 /// Errors from FFT entry points.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FftError {
-    /// Input length is not a power of two (or is zero).
-    NotPowerOfTwo {
-        /// Offending length.
-        len: usize,
+    /// Zero-length input.
+    Empty,
+    /// Half-spectrum bin count inconsistent with the requested real
+    /// signal length (`bins` must equal `n/2 + 1`).
+    SpectrumLength {
+        /// Bins supplied.
+        bins: usize,
+        /// Real signal length requested.
+        n: usize,
     },
 }
 
 impl fmt::Display for FftError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FftError::NotPowerOfTwo { len } => {
-                write!(f, "fft length {len} is not a nonzero power of two")
+            FftError::Empty => write!(f, "fft input must be non-empty"),
+            FftError::SpectrumLength { bins, n } => {
+                write!(
+                    f,
+                    "spectrum has {bins} bins but a real signal of length {n} needs {}",
+                    n / 2 + 1
+                )
             }
         }
     }
@@ -27,17 +44,10 @@ impl fmt::Display for FftError {
 
 impl Error for FftError {}
 
-/// In-place radix-2 FFT. `inverse` selects the sign convention; inverse
-/// transforms are scaled by `1/N` so `ifft(fft(x)) == x`.
-///
-/// # Errors
-///
-/// Returns [`FftError::NotPowerOfTwo`] for invalid lengths.
-pub fn fft1d_inplace(data: &mut [Complex], inverse: bool) -> Result<(), FftError> {
+/// In-place radix-2 FFT for power-of-two `data.len()`.
+pub(crate) fn radix2_inplace(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    if n == 0 || n & (n - 1) != 0 {
-        return Err(FftError::NotPowerOfTwo { len: n });
-    }
+    debug_assert!(n > 0 && n & (n - 1) == 0, "radix-2 needs a power of two");
     // Bit-reversal permutation.
     let mut j = 0usize;
     for i in 1..n {
@@ -77,6 +87,71 @@ pub fn fft1d_inplace(data: &mut [Complex], inverse: bool) -> Result<(), FftError
             *x = x.scale(s);
         }
     }
+}
+
+/// Chirp factors `w_k = exp(sign·iπ·k²/n)` with the exponent reduced
+/// `k² mod 2n` as integers so the phase stays accurate at large `k`.
+fn chirp_table(n: usize, sign: f32) -> Vec<Complex> {
+    let two_n = 2 * n as u64;
+    (0..n)
+        .map(|k| {
+            let e = ((k as u64 * k as u64) % two_n) as f32;
+            Complex::cis(sign * std::f32::consts::PI * e / n as f32)
+        })
+        .collect()
+}
+
+/// Bluestein chirp-z FFT for arbitrary (non-power-of-two) lengths.
+fn bluestein_inplace(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    let m = (2 * n - 1).next_power_of_two();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let chirp = chirp_table(n, sign);
+    // a[t] = x[t]·w_t, zero-padded to m.
+    let mut a = vec![Complex::ZERO; m];
+    for (t, slot) in a.iter_mut().take(n).enumerate() {
+        *slot = data[t] * chirp[t];
+    }
+    // b[t] = conj(w_t) wrapped circularly so the linear convolution with
+    // the chirp is exact under the cyclic FFT convolution.
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for t in 1..n {
+        let c = chirp[t].conj();
+        b[t] = c;
+        b[m - t] = c;
+    }
+    radix2_inplace(&mut a, false);
+    radix2_inplace(&mut b, false);
+    for (av, bv) in a.iter_mut().zip(&b) {
+        *av *= *bv;
+    }
+    radix2_inplace(&mut a, true);
+    let scale = 1.0 / n as f32;
+    for (k, slot) in data.iter_mut().enumerate() {
+        let v = a[k] * chirp[k];
+        *slot = if inverse { v.scale(scale) } else { v };
+    }
+}
+
+/// In-place FFT of any nonzero length. `inverse` selects the sign
+/// convention; inverse transforms are scaled by `1/N` so
+/// `ifft(fft(x)) == x`. Power-of-two lengths run the radix-2 kernel,
+/// all others Bluestein's algorithm.
+///
+/// # Errors
+///
+/// Returns [`FftError::Empty`] for zero-length input.
+pub fn fft1d_inplace(data: &mut [Complex], inverse: bool) -> Result<(), FftError> {
+    let n = data.len();
+    if n == 0 {
+        return Err(FftError::Empty);
+    }
+    if n & (n - 1) == 0 {
+        radix2_inplace(data, inverse);
+    } else {
+        bluestein_inplace(data, inverse);
+    }
     Ok(())
 }
 
@@ -84,8 +159,10 @@ pub fn fft1d_inplace(data: &mut [Complex], inverse: bool) -> Result<(), FftError
 ///
 /// # Errors
 ///
-/// Returns [`FftError::NotPowerOfTwo`] for invalid lengths.
+/// Returns [`FftError::Empty`] for zero-length input.
 pub fn fft1d(data: &[Complex]) -> Result<Vec<Complex>, FftError> {
+    let _span = peb_obs::span("fft.fft1d");
+    peb_obs::count(peb_obs::Counter::FftLines, 1);
     let mut out = data.to_vec();
     fft1d_inplace(&mut out, false)?;
     Ok(out)
@@ -95,8 +172,10 @@ pub fn fft1d(data: &[Complex]) -> Result<Vec<Complex>, FftError> {
 ///
 /// # Errors
 ///
-/// Returns [`FftError::NotPowerOfTwo`] for invalid lengths.
+/// Returns [`FftError::Empty`] for zero-length input.
 pub fn ifft1d(data: &[Complex]) -> Result<Vec<Complex>, FftError> {
+    let _span = peb_obs::span("fft.fft1d");
+    peb_obs::count(peb_obs::Counter::FftLines, 1);
     let mut out = data.to_vec();
     fft1d_inplace(&mut out, true)?;
     Ok(out)
@@ -124,14 +203,18 @@ mod tests {
     fn matches_reference_dft() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(11);
-        for &n in &[1usize, 2, 4, 8, 32, 64] {
+        // Powers of two take the radix-2 kernel; the rest take Bluestein.
+        for &n in &[1usize, 2, 3, 4, 5, 6, 7, 8, 12, 17, 31, 32, 48, 64] {
             let data: Vec<Complex> = (0..n)
                 .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
                 .collect();
             let fast = fft1d(&data).unwrap();
             let slow = dft(&data);
             for (a, b) in fast.iter().zip(&slow) {
-                assert!((a.re - b.re).abs() < 1e-3 && (a.im - b.im).abs() < 1e-3);
+                assert!(
+                    (a.re - b.re).abs() < 2e-3 && (a.im - b.im).abs() < 2e-3,
+                    "n={n}: {a} vs {b}"
+                );
             }
         }
     }
@@ -140,6 +223,17 @@ mod tests {
     fn roundtrip() {
         let data: Vec<Complex> = (0..16)
             .map(|i| Complex::new(i as f32, -(i as f32)))
+            .collect();
+        let back = ifft1d(&fft1d(&data).unwrap()).unwrap();
+        for (a, b) in back.iter().zip(&data) {
+            assert!((a.re - b.re).abs() < 1e-4 && (a.im - b.im).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn roundtrip_prime_length() {
+        let data: Vec<Complex> = (0..13)
+            .map(|i| Complex::new((i as f32).sin(), (i as f32).cos()))
             .collect();
         let back = ifft1d(&fft1d(&data).unwrap()).unwrap();
         for (a, b) in back.iter().zip(&data) {
@@ -171,11 +265,8 @@ mod tests {
     }
 
     #[test]
-    fn rejects_non_power_of_two() {
-        assert_eq!(
-            fft1d(&[Complex::ZERO; 6]).unwrap_err(),
-            FftError::NotPowerOfTwo { len: 6 }
-        );
-        assert!(fft1d(&[]).is_err());
+    fn rejects_empty() {
+        assert_eq!(fft1d(&[]).unwrap_err(), FftError::Empty);
+        assert_eq!(ifft1d(&[]).unwrap_err(), FftError::Empty);
     }
 }

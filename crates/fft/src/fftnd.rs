@@ -103,12 +103,15 @@ impl ComplexField {
         let outer: usize = shape[..axis].iter().product();
         let mid = shape[axis];
         let inner: usize = shape[axis + 1..].iter().product();
-        // The only failure mode is a non-power-of-two axis length, which
-        // is line-independent — check it once, up front.
-        if mid == 0 || mid & (mid - 1) != 0 {
-            return Err(FftError::NotPowerOfTwo { len: mid });
+        // The only failure mode is an empty axis, which is
+        // line-independent — check it once, up front. (Non-power-of-two
+        // lengths dispatch to the Bluestein kernel per line.)
+        if mid == 0 {
+            return Err(FftError::Empty);
         }
         let lines = outer * inner;
+        let _span = peb_obs::span("fft.axis");
+        peb_obs::count(peb_obs::Counter::FftLines, lines as u64);
         let slots = peb_par::UnsafeSlice::new(&mut self.data);
         peb_par::parallel_chunks(lines, lines.div_ceil(64), |range| {
             let mut line = vec![Complex::ZERO; mid];
@@ -119,7 +122,7 @@ impl ComplexField {
                     // `(o·mid + m)·inner + i`; lines are disjoint.
                     *slot = unsafe { *slots.get_mut((o * mid + m) * inner + i) };
                 }
-                fft1d_inplace(&mut line, inverse).expect("length checked power-of-two");
+                fft1d_inplace(&mut line, inverse).expect("length checked nonzero");
                 for (m, slot) in line.iter().enumerate() {
                     // SAFETY: as above.
                     unsafe { *slots.get_mut((o * mid + m) * inner + i) = *slot };
@@ -134,7 +137,7 @@ impl ComplexField {
 ///
 /// # Errors
 ///
-/// Returns [`FftError`] if the field is not rank-2 power-of-two sized.
+/// Returns [`FftError`] if the field has an empty axis.
 pub fn fft2d(field: &ComplexField) -> Result<ComplexField, FftError> {
     transform_all(field, false, 2)
 }

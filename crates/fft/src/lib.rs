@@ -8,8 +8,10 @@
 //! * `peb-baselines` — the FNO and DeePEB models apply learned filters in
 //!   the frequency domain.
 //!
-//! Lengths must be powers of two; the workspace keeps all H/W grid sizes
-//! as powers of two for this reason (see DESIGN.md §6).
+//! Any nonzero length is supported: powers of two run the radix-2
+//! kernel, everything else Bluestein's chirp-z algorithm. The workspace
+//! still keeps H/W grid sizes as powers of two for speed (see DESIGN.md
+//! §7).
 //!
 //! # Example
 //!
@@ -35,4 +37,4 @@ pub use complex::Complex;
 pub use convolve::{convolve2d_periodic, convolve3d_periodic};
 pub use fft1d::{fft1d, fft1d_inplace, ifft1d, FftError};
 pub use fftnd::{fft2d, fft3d, ifft2d, ifft3d, ComplexField};
-pub use rfft::{irfft1d, rfft1d};
+pub use rfft::{irfft1d, irfft1d_len, rfft1d};

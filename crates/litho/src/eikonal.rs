@@ -69,10 +69,12 @@ pub fn solve_eikonal(grid: &Grid, rate: &Tensor, cfg: EikonalConfig) -> Result<T
     }
     let rd = rate.data().to_vec();
     let at = |z: usize, y: usize, x: usize| (z * ny + y) * nx + x;
+    let _span = peb_obs::span("litho.eikonal");
     let mut rounds = 0usize;
     loop {
         let mut max_change = 0f32;
         // The 8 sweep orderings of (z, y, x).
+        peb_obs::count(peb_obs::Counter::EikonalSweeps, 8);
         for dir in 0..8u8 {
             let zs: Box<dyn Iterator<Item = usize>> = if dir & 1 == 0 {
                 Box::new(0..nz)

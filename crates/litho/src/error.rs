@@ -9,7 +9,7 @@ use peb_tensor::TensorError;
 pub enum LithoError {
     /// A tensor operation failed (almost always a shape bug).
     Tensor(TensorError),
-    /// An FFT failed (grid extent not a power of two).
+    /// An FFT failed (empty grid extent).
     Fft(FftError),
     /// Configuration violates a physical or geometric invariant.
     Config {

@@ -72,6 +72,7 @@ impl OpticsParams {
     /// Returns an error if the grid and mask disagree or FFT sizes are
     /// invalid.
     pub fn aerial_image(&self, grid: &Grid, mask: &MaskClip) -> Result<Tensor> {
+        let _span = peb_obs::span("litho.aerial");
         if mask.pattern.shape() != [grid.ny, grid.nx] {
             return Err(LithoError::Config {
                 detail: format!(

@@ -220,9 +220,11 @@ impl PebSolver {
             base: Tensor::full(&shape, self.params.base0),
             inhibitor: Tensor::full(&shape, self.params.inhibitor0),
         };
+        let _span = peb_obs::span("litho.peb_run");
         let steps = (self.params.duration / self.params.dt).round().max(1.0) as usize;
         let dt = self.params.duration / steps as f32;
         for _ in 0..steps {
+            let _step_span = peb_obs::span("litho.peb_step");
             self.reaction_half_step(&mut state, dt * 0.5);
             self.diffuse(&mut state.acid, self.params.diffusivity_a(), true, dt);
             self.diffuse(&mut state.base, self.params.diffusivity_b(), false, dt);
@@ -353,6 +355,8 @@ fn implicit_axis(field: &mut Tensor, axis: usize, r: f32, bc_first: EndBc, bc_la
     if n == 1 {
         return;
     }
+    let _span = peb_obs::span("litho.adi_axis");
+    peb_obs::count(peb_obs::Counter::AdiLines, (outer * inner) as u64);
     // Coefficient arrays are identical for every line of this axis.
     let lower = vec![-r; n];
     let upper = vec![-r; n];
@@ -397,6 +401,7 @@ fn implicit_axis(field: &mut Tensor, axis: usize, r: f32, bc_first: EndBc, bc_la
 
 /// Reference explicit step (all axes at once).
 fn explicit_step(field: &mut Tensor, grid: &Grid, d_lat: f32, d_norm: f32, top_bc: EndBc, dt: f32) {
+    let _span = peb_obs::span("litho.explicit_step");
     let (nz, ny, nx) = (grid.nz, grid.ny, grid.nx);
     let (rx, ry, rz) = (
         d_lat * dt / (grid.dx * grid.dx),

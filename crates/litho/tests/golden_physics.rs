@@ -1,0 +1,135 @@
+//! Golden-physics test: with every reaction term zeroed, the ADI PEB
+//! step is pure anisotropic diffusion, whose exact solution for a point
+//! source is a separable Gaussian.
+//!
+//! The solver's diffusivities come from the paper's length convention
+//! `L = √(2DT)`, so after the full bake duration `T` the Gaussian's
+//! per-axis standard deviation is exactly the configured diffusion
+//! length. Zero-flux (Neumann) boundaries are handled analytically by
+//! the method of images: the free-space Gaussian is summed over mirror
+//! reflections about each boundary pair.
+
+use peb_litho::{Grid, PebParams, PebSolver, TimeScheme};
+use peb_tensor::Tensor;
+
+/// 1-D heat-kernel factor on a Neumann-bounded interval of `n` cells of
+/// pitch `h`, evaluated by image charges (reflections about the walls at
+/// cell faces `-h/2` and `(n-1/2)·h`).
+fn neumann_gaussian(i: usize, i0: usize, n: usize, h: f32, sigma: f32) -> f64 {
+    let x = i as f64 * h as f64;
+    let x0 = i0 as f64 * h as f64;
+    let len = n as f64 * h as f64;
+    let s = sigma as f64;
+    let norm = 1.0 / (s * (2.0 * std::f64::consts::PI).sqrt());
+    // Images of x0 about the two walls: positions 2k·len ± x0.
+    let mut acc = 0.0;
+    for k in -3i64..=3 {
+        for &img in &[
+            2.0 * k as f64 * len + x0,
+            2.0 * k as f64 * len - h as f64 - x0,
+        ] {
+            let d = x - img;
+            acc += norm * (-d * d / (2.0 * s * s)).exp();
+        }
+    }
+    acc
+}
+
+/// Point source through the ADI solver with all reactions off. The
+/// solve is shared across the three tests in this binary.
+type PointSourceRun = (Grid, PebParams, Tensor, (usize, usize, usize));
+
+fn diffuse_point_source() -> &'static PointSourceRun {
+    static RESULT: std::sync::OnceLock<PointSourceRun> = std::sync::OnceLock::new();
+    RESULT.get_or_init(run_point_source)
+}
+
+fn run_point_source() -> PointSourceRun {
+    // σ/h ≥ 4 on every axis keeps the discrete kernel within a few
+    // percent of the continuum Gaussian; boundaries sit ≥ 2.8σ from the
+    // source so the image sum converges fast.
+    let grid = Grid::new(64, 64, 26, 4.0, 4.0, 2.5).unwrap();
+    let params = PebParams {
+        kr: 0.0,
+        kc: 0.0,
+        h_a: 0.0,
+        h_b: 0.0,
+        lateral_diff_len_a: 16.0,
+        normal_diff_len_a: 12.0,
+        duration: 5.0,
+        dt: 0.025,
+        ..PebParams::paper()
+    };
+    let src = (13usize, 32usize, 32usize); // (z, y, x)
+    let mut acid0 = Tensor::zeros(&grid.shape3());
+    acid0.set(&[src.0, src.1, src.2], 1.0);
+    let solver = PebSolver::new(params, grid, TimeScheme::ImplicitLod).unwrap();
+    let state = solver.run(&acid0).unwrap();
+    (grid, params, state.acid, src)
+}
+
+#[test]
+fn adi_point_source_matches_analytic_gaussian() {
+    let (grid, params, acid, (z0, y0, x0)) = diffuse_point_source().clone();
+    // After t = duration, σ_axis = L_axis by construction (L = √(2DT)).
+    let (sig_xy, sig_z) = (params.lateral_diff_len_a, params.normal_diff_len_a);
+    // The discrete delta carries "mass" 1 cell; concentration =
+    // mass · product of per-axis kernels · cell volume.
+    let vol = (grid.dx * grid.dy * grid.dz) as f64;
+    let mut peak_expected = 0.0f64;
+    let mut max_err = 0.0f64;
+    for z in 0..grid.nz {
+        let gz = neumann_gaussian(z, z0, grid.nz, grid.dz, sig_z);
+        for y in 0..grid.ny {
+            let gy = neumann_gaussian(y, y0, grid.ny, grid.dy, sig_xy);
+            for x in 0..grid.nx {
+                let gx = neumann_gaussian(x, x0, grid.nx, grid.dx, sig_xy);
+                let expected = vol * gz * gy * gx;
+                peak_expected = peak_expected.max(expected);
+                let got = acid.get(&[z, y, x]) as f64;
+                max_err = max_err.max((got - expected).abs());
+            }
+        }
+    }
+    // Backward-Euler time error ~dt/(2T) plus O(h²/σ²) spatial error.
+    let rel = max_err / peak_expected;
+    assert!(
+        rel < 0.05,
+        "max |ADI − Gaussian| = {max_err:.3e} is {:.1}% of the peak {peak_expected:.3e}",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn adi_point_source_conserves_total_acid() {
+    let (_, _, acid, _) = diffuse_point_source().clone();
+    // Neumann everywhere (h_a = 0 disables the Robin surface term), so
+    // the implicit sweeps must conserve the discrete sum to round-off.
+    let mass = acid.sum();
+    assert!(
+        (mass - 1.0).abs() < 1e-4,
+        "total acid {mass} drifted from the initial unit mass"
+    );
+    assert!(acid.min_value() >= -1e-6, "negative concentration");
+}
+
+#[test]
+fn adi_point_source_is_symmetric_about_the_source() {
+    let (grid, _, acid, (z0, y0, x0)) = diffuse_point_source().clone();
+    // The grid is symmetric about the lateral source position
+    // (x0 = nx/2 up to the half-cell offset), so profiles one cell out
+    // on either lateral side must match closely; x/y isotropy must hold
+    // exactly by symmetry of the operator.
+    for d in 1..6 {
+        let xm = acid.get(&[z0, y0, x0 - d]);
+        let xp = acid.get(&[z0, y0, x0 + d]);
+        let ym = acid.get(&[z0, y0 - d, x0]);
+        let yp = acid.get(&[z0, y0 + d, x0]);
+        let scale = xm.abs().max(1e-12);
+        assert!(
+            (xm - ym).abs() / scale < 1e-3 && (xp - yp).abs() / scale < 1e-3,
+            "x/y anisotropy at offset {d}: x({xm}, {xp}) vs y({ym}, {yp})"
+        );
+    }
+    let _ = grid;
+}

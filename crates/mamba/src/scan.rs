@@ -100,6 +100,8 @@ fn scan_forward(
     ch: usize,
     n: usize,
 ) -> (Tensor, Vec<f32>) {
+    let _span = peb_obs::span("scan.fwd");
+    peb_obs::count(peb_obs::Counter::ScanLanes, ch as u64);
     let (ud, dd, ad, bd, cd, skip) = (
         u.data(),
         delta.data(),
@@ -157,6 +159,8 @@ fn scan_backward(
     ch: usize,
     n: usize,
 ) -> Vec<Tensor> {
+    let _span = peb_obs::span("scan.bwd");
+    peb_obs::count(peb_obs::Counter::ScanLanes, ch as u64);
     let (gd, ud, dd, ad, bd, cd, skip) = (
         g.data(),
         u.data(),
@@ -494,6 +498,8 @@ pub fn selective_scan_chunked(
         assert_eq!(s.len(), 2, "u must be [L, C]");
         (s[0], s[1])
     };
+    let _span = peb_obs::span("scan.chunked_fwd");
+    peb_obs::count(peb_obs::Counter::ScanLanes, ch as u64);
     let n = a.shape()[1];
     let out = {
         let (ud, dd, ad, bd, cd, skip) = (

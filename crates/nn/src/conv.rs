@@ -54,6 +54,7 @@ fn im2col2(input: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> T
             }
         }
     });
+    peb_obs::count(peb_obs::Counter::Im2colBytes, 4 * (cin * per_c) as u64);
     Tensor::from_vec(out, &[cin * kh * kw, cols]).expect("im2col2")
 }
 
@@ -78,6 +79,7 @@ fn col2im2(
     let mut out = Tensor::zeros(&[cin, h, w]);
     let cols = ho * wo;
     let per_c = h * w;
+    peb_obs::count(peb_obs::Counter::Im2colBytes, 4 * cols_t.len() as u64);
     // Overlap accumulation stays sequential *within* a channel, and
     // channels scatter into disjoint `[h·w]` planes — deterministic.
     peb_par::parallel_chunks_mut(out.data_mut(), per_c, |offset, dst| {
@@ -162,6 +164,7 @@ fn im2col3(
             }
         }
     });
+    peb_obs::count(peb_obs::Counter::Im2colBytes, 4 * (cin * per_c) as u64);
     Tensor::from_vec(out, &[cin * kd * kh * kw, cols]).expect("im2col3")
 }
 
@@ -188,6 +191,7 @@ fn col2im3(
     let mut out = Tensor::zeros(&[cin, d, h, w]);
     let cols = dd * hh * ww;
     let per_c = d * h * w;
+    peb_obs::count(peb_obs::Counter::Im2colBytes, 4 * cols_t.len() as u64);
     peb_par::parallel_chunks_mut(out.data_mut(), per_c, |offset, dst| {
         let c = offset / per_c;
         for kz in 0..kd {
@@ -282,6 +286,7 @@ impl Conv2d {
         let (h, w) = (xs[1], xs[2]);
         let (ho, wo) = self.output_hw(h, w);
         let (k, stride, pad, cin, cout) = (self.kernel, self.stride, self.pad, self.cin, self.cout);
+        let _span = peb_obs::span("conv.conv2d_fwd");
         let col = im2col2(&x.value(), k, k, stride, pad);
         let mut out = self.weight.value().matmul(&col).expect("conv2d gemm");
         if let Some(b) = &self.bias {
@@ -303,6 +308,7 @@ impl Conv2d {
             parents.push(b.clone());
         }
         Var::from_op(out, parents, move |g| {
+            let _span = peb_obs::span("conv.conv2d_bwd");
             let gm = g.reshape(&[cout, ho * wo]).expect("conv2d grad reshape");
             let col = im2col2(&xc.value(), k, k, stride, pad);
             // dW = G · colᵀ ; dX = col2im(Wᵀ · G) ; db = Σ_spatial G.
@@ -399,6 +405,7 @@ impl Conv3d {
         let (dd, hh, ww) = self.output_dhw(d, h, w);
         let (kd, kh, kw) = self.kernel;
         let (stride, pad, cin, cout) = (self.stride, self.pad, self.cin, self.cout);
+        let _span = peb_obs::span("conv.conv3d_fwd");
         let col = im2col3(&x.value(), kd, kh, kw, stride, pad);
         let mut out = self.weight.value().matmul(&col).expect("conv3d gemm");
         if let Some(b) = &self.bias {
@@ -421,6 +428,7 @@ impl Conv3d {
             parents.push(b.clone());
         }
         Var::from_op(out, parents, move |g| {
+            let _span = peb_obs::span("conv.conv3d_bwd");
             let gm = g
                 .reshape(&[cout, dd * hh * ww])
                 .expect("conv3d grad reshape");
@@ -531,6 +539,7 @@ impl Parameterized for DwConv3d {
 }
 
 fn dw3_forward(x: &Tensor, w: &Tensor, b: &Tensor, k: usize, p: usize) -> Tensor {
+    let _span = peb_obs::span("conv.dw3_fwd");
     let s = x.shape();
     let (c, d, h, wd) = (s[0], s[1], s[2], s[3]);
     let mut out = Tensor::zeros(s);
@@ -577,6 +586,7 @@ fn dw3_forward(x: &Tensor, w: &Tensor, b: &Tensor, k: usize, p: usize) -> Tensor
 }
 
 fn dw3_backward(x: &Tensor, w: &Tensor, g: &Tensor, k: usize, p: usize) -> (Tensor, Tensor) {
+    let _span = peb_obs::span("conv.dw3_bwd");
     let s = x.shape();
     let (c, d, h, wd) = (s[0], s[1], s[2], s[3]);
     let mut dx = Tensor::zeros(s);
@@ -778,6 +788,7 @@ fn convt2_forward(
     stride: usize,
     pad: usize,
 ) -> Tensor {
+    let _span = peb_obs::span("conv.convt2_fwd");
     let (cin, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     let cout = w.shape()[1];
     // W [cin, cout·k·k] → transpose → [cout·k·k, cin]; x as [cin, H·W].
@@ -805,6 +816,7 @@ fn convt2_backward(
     stride: usize,
     pad: usize,
 ) -> (Tensor, Tensor) {
+    let _span = peb_obs::span("conv.convt2_bwd");
     let (cin, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     let cout = w.shape()[1];
     // dX = W_mat · im2col(dY); dW = im2col(dY) · Xᵀ (transposed back).

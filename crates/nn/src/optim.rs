@@ -46,6 +46,8 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &[Var]) {
+        let _span = peb_obs::span("optim.step");
+        peb_obs::count(peb_obs::Counter::OptimSteps, 1);
         for p in params {
             let Some(g) = p.grad() else { continue };
             let update = if self.momentum > 0.0 {
@@ -101,6 +103,8 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &[Var]) {
+        let _span = peb_obs::span("optim.step");
+        peb_obs::count(peb_obs::Counter::OptimSteps, 1);
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t);
         let bc2 = 1.0 - self.beta2.powi(self.t);

@@ -24,6 +24,8 @@ impl Tensor {
             });
         }
         let (m, k, n) = (ls[0], ls[1], rs[1]);
+        let _span = peb_obs::span("gemm.matmul");
+        peb_obs::count(peb_obs::Counter::GemmFlops, 2 * (m * k * n) as u64);
         let mut out = vec![0f32; m * n];
         matmul_into(self.data(), other.data(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
@@ -45,6 +47,8 @@ impl Tensor {
             });
         }
         let (b, m, k, n) = (ls[0], ls[1], ls[2], rs[2]);
+        let _span = peb_obs::span("gemm.bmm");
+        peb_obs::count(peb_obs::Counter::GemmFlops, 2 * (b * m * k * n) as u64);
         let mut out = vec![0f32; b * m * n];
         // Batches are independent; when there is only one, run_parallel
         // falls through without entering a parallel region, so the inner
@@ -74,6 +78,7 @@ impl Tensor {
     pub fn transpose2(&self) -> Self {
         const TB: usize = 32;
         assert_eq!(self.rank(), 2, "transpose2 requires a matrix");
+        let _span = peb_obs::span("gemm.transpose2");
         let (m, n) = (self.shape()[0], self.shape()[1]);
         let src = self.data();
         let mut out = vec![0f32; m * n];

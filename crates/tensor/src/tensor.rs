@@ -43,6 +43,7 @@ impl Tensor {
                 shape: shape.to_vec(),
             });
         }
+        peb_obs::count(peb_obs::Counter::TensorAllocs, 1);
         Ok(Self {
             data,
             shape: shape.to_vec(),
@@ -51,6 +52,7 @@ impl Tensor {
 
     /// Creates a rank-0 (scalar) tensor.
     pub fn scalar(value: f32) -> Self {
+        peb_obs::count(peb_obs::Counter::TensorAllocs, 1);
         Self {
             data: vec![value],
             shape: Vec::new(),
@@ -59,6 +61,7 @@ impl Tensor {
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
+        peb_obs::count(peb_obs::Counter::TensorAllocs, 1);
         Self {
             data: vec![value; numel(shape)],
             shape: shape.to_vec(),
@@ -82,6 +85,7 @@ impl Tensor {
         for i in 0..n {
             data.push(f(i));
         }
+        peb_obs::count(peb_obs::Counter::TensorAllocs, 1);
         Self {
             data,
             shape: shape.to_vec(),
