@@ -150,6 +150,58 @@ fn eikonal_and_metrology_are_bitwise_deterministic() {
     }
 }
 
+/// Serialises the tests that flip the process-global pool latch.
+fn pool_latch_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One full training step on the micro pipeline: rigorous litho chain,
+/// SDM-PEB forward, Eq. 22 loss, backward, Adam update. Returns the
+/// prediction and one representative parameter after the update.
+fn full_pipeline_step() -> (Tensor, Tensor) {
+    use peb_litho::LithoFlow;
+    use peb_nn::{Adam, Optimizer};
+    use sdm_peb::{LabelTransform, PebLoss, PebPredictor, SdmPeb, SdmPebConfig};
+
+    let grid = Grid::new(16, 16, 4, 8.0, 8.0, 20.0).unwrap();
+    let clip = MaskConfig::demo(grid.nx).generate(7).unwrap();
+    let sim = LithoFlow::new(grid).run(&clip).unwrap();
+    let label = LabelTransform::paper().encode(&sim.inhibitor);
+    let mut rng = StdRng::seed_from_u64(1007);
+    let model = SdmPeb::new(SdmPebConfig::tiny((grid.nz, grid.ny, grid.nx)), &mut rng);
+    let params = model.parameters();
+    params.iter().for_each(|p| p.zero_grad());
+    let pred = model.forward_train(&sim.acid0);
+    PebLoss::paper().combined(&pred, &label).backward();
+    Adam::new(1e-3).step(&params);
+    (pred.value_clone(), params[0].value_clone())
+}
+
+#[test]
+fn full_pipeline_is_bitwise_identical_pooled_vs_unpooled() {
+    // The buffer pool hands out zeroed / copied storage, so checking the
+    // whole litho + forward + backward + optimiser chain with the pool on
+    // must reproduce the pool-off bits exactly.
+    let _latch = pool_latch_lock();
+    peb_pool::set_enabled(false);
+    let (pred_off, param_off) = at_threads(1, full_pipeline_step);
+    peb_pool::set_enabled(true);
+    let (pred_on, param_on) = at_threads(1, full_pipeline_step);
+    assert_bits_eq(&pred_off, &pred_on, "pipeline prediction (pool on/off)");
+    assert_bits_eq(&param_off, &param_on, "updated parameter (pool on/off)");
+}
+
+#[test]
+fn full_pipeline_is_bitwise_deterministic_across_thread_counts() {
+    let _latch = pool_latch_lock();
+    peb_pool::set_enabled(true);
+    let (pred1, param1) = at_threads(1, full_pipeline_step);
+    let (pred4, param4) = at_threads(4, full_pipeline_step);
+    assert_bits_eq(&pred1, &pred4, "pipeline prediction (1 vs 4 threads)");
+    assert_bits_eq(&param1, &param4, "updated parameter (1 vs 4 threads)");
+}
+
 #[test]
 fn fft_is_bitwise_deterministic() {
     let mut rng = StdRng::seed_from_u64(1005);

@@ -12,6 +12,10 @@ pub struct Complex {
     pub im: f32,
 }
 
+// Complex spectra check scratch lines out of the thread-local buffer pool
+// on every FFT call, so the type gets its own monomorphic pool.
+peb_pool::impl_poolable!(Complex);
+
 impl Complex {
     /// Zero.
     pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };

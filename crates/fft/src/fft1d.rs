@@ -44,114 +44,22 @@ impl fmt::Display for FftError {
 
 impl Error for FftError {}
 
-/// In-place radix-2 FFT for power-of-two `data.len()`.
-pub(crate) fn radix2_inplace(data: &mut [Complex], inverse: bool) {
-    let n = data.len();
-    debug_assert!(n > 0 && n & (n - 1) == 0, "radix-2 needs a power of two");
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            data.swap(i, j);
-        }
-    }
-    // Butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2usize;
-    while len <= n {
-        let ang = sign * std::f32::consts::TAU / len as f32;
-        let wlen = Complex::cis(ang);
-        let mut i = 0;
-        while i < n {
-            let mut w = Complex::ONE;
-            for k in 0..len / 2 {
-                let u = data[i + k];
-                let v = data[i + k + len / 2] * w;
-                data[i + k] = u + v;
-                data[i + k + len / 2] = u - v;
-                w *= wlen;
-            }
-            i += len;
-        }
-        len <<= 1;
-    }
-    if inverse {
-        let s = 1.0 / n as f32;
-        for x in data.iter_mut() {
-            *x = x.scale(s);
-        }
-    }
-}
-
-/// Chirp factors `w_k = exp(sign·iπ·k²/n)` with the exponent reduced
-/// `k² mod 2n` as integers so the phase stays accurate at large `k`.
-fn chirp_table(n: usize, sign: f32) -> Vec<Complex> {
-    let two_n = 2 * n as u64;
-    (0..n)
-        .map(|k| {
-            let e = ((k as u64 * k as u64) % two_n) as f32;
-            Complex::cis(sign * std::f32::consts::PI * e / n as f32)
-        })
-        .collect()
-}
-
-/// Bluestein chirp-z FFT for arbitrary (non-power-of-two) lengths.
-fn bluestein_inplace(data: &mut [Complex], inverse: bool) {
-    let n = data.len();
-    let m = (2 * n - 1).next_power_of_two();
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let chirp = chirp_table(n, sign);
-    // a[t] = x[t]·w_t, zero-padded to m.
-    let mut a = vec![Complex::ZERO; m];
-    for (t, slot) in a.iter_mut().take(n).enumerate() {
-        *slot = data[t] * chirp[t];
-    }
-    // b[t] = conj(w_t) wrapped circularly so the linear convolution with
-    // the chirp is exact under the cyclic FFT convolution.
-    let mut b = vec![Complex::ZERO; m];
-    b[0] = chirp[0].conj();
-    for t in 1..n {
-        let c = chirp[t].conj();
-        b[t] = c;
-        b[m - t] = c;
-    }
-    radix2_inplace(&mut a, false);
-    radix2_inplace(&mut b, false);
-    for (av, bv) in a.iter_mut().zip(&b) {
-        *av *= *bv;
-    }
-    radix2_inplace(&mut a, true);
-    let scale = 1.0 / n as f32;
-    for (k, slot) in data.iter_mut().enumerate() {
-        let v = a[k] * chirp[k];
-        *slot = if inverse { v.scale(scale) } else { v };
-    }
-}
-
 /// In-place FFT of any nonzero length. `inverse` selects the sign
 /// convention; inverse transforms are scaled by `1/N` so
 /// `ifft(fft(x)) == x`. Power-of-two lengths run the radix-2 kernel,
-/// all others Bluestein's algorithm.
+/// all others Bluestein's algorithm; both execute through the
+/// thread-local plan cache in [`crate::plan`], so twiddle tables,
+/// bit-reversal permutations and Bluestein filter spectra are computed
+/// once per `(length, direction)` per thread.
 ///
 /// # Errors
 ///
 /// Returns [`FftError::Empty`] for zero-length input.
 pub fn fft1d_inplace(data: &mut [Complex], inverse: bool) -> Result<(), FftError> {
-    let n = data.len();
-    if n == 0 {
+    if data.is_empty() {
         return Err(FftError::Empty);
     }
-    if n & (n - 1) == 0 {
-        radix2_inplace(data, inverse);
-    } else {
-        bluestein_inplace(data, inverse);
-    }
+    crate::plan::fft_inplace_planned(data, inverse);
     Ok(())
 }
 

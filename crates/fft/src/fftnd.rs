@@ -7,10 +7,19 @@ use crate::Complex;
 
 /// A dense N-D array of complex values (row-major), the frequency-domain
 /// counterpart of [`peb_tensor::Tensor`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Storage is checked out of the thread-local `peb-pool` and recycled on
+/// drop, so repeated spectral round trips (the aerial-image convolution
+/// hot path) reuse the same buffers instead of allocating.
+#[derive(Debug, PartialEq)]
 pub struct ComplexField {
     data: Vec<Complex>,
     shape: Vec<usize>,
+}
+
+/// Checks out an empty pooled `Complex` buffer with capacity ≥ `cap`.
+fn alloc_cleared(cap: usize) -> Vec<Complex> {
+    peb_pool::take_cleared(cap).0
 }
 
 impl ComplexField {
@@ -33,30 +42,33 @@ impl ComplexField {
 
     /// All-zero field.
     pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        let mut data = alloc_cleared(n);
+        data.resize(n, Complex::ZERO);
         ComplexField {
-            data: vec![Complex::ZERO; shape.iter().product()],
+            data,
             shape: shape.to_vec(),
         }
     }
 
     /// Builds a field from a real tensor (imaginary parts zero).
     pub fn from_real(t: &Tensor) -> Self {
+        let mut data = alloc_cleared(t.len());
+        data.extend(t.data().iter().map(|&r| Complex::new(r, 0.0)));
         ComplexField {
-            data: t.data().iter().map(|&r| Complex::new(r, 0.0)).collect(),
+            data,
             shape: t.shape().to_vec(),
         }
     }
 
     /// Extracts the real parts as a tensor.
     pub fn real(&self) -> Tensor {
-        Tensor::from_vec(self.data.iter().map(|c| c.re).collect(), &self.shape)
-            .expect("ComplexField::real length")
+        Tensor::from_fn(&self.shape, |i| self.data[i].re)
     }
 
     /// Extracts the imaginary parts as a tensor.
     pub fn imag(&self) -> Tensor {
-        Tensor::from_vec(self.data.iter().map(|c| c.im).collect(), &self.shape)
-            .expect("ComplexField::imag length")
+        Tensor::from_fn(&self.shape, |i| self.data[i].im)
     }
 
     /// Shape of the field.
@@ -81,13 +93,15 @@ impl ComplexField {
     /// Panics on shape mismatch.
     pub fn hadamard(&self, other: &ComplexField) -> ComplexField {
         assert_eq!(self.shape, other.shape, "hadamard shape mismatch");
-        ComplexField {
-            data: self
-                .data
+        let mut data = alloc_cleared(self.data.len());
+        data.extend(
+            self.data
                 .iter()
                 .zip(other.data.iter())
-                .map(|(&a, &b)| a * b)
-                .collect(),
+                .map(|(&a, &b)| a * b),
+        );
+        ComplexField {
+            data,
             shape: self.shape.clone(),
         }
     }
@@ -114,7 +128,7 @@ impl ComplexField {
         peb_obs::count(peb_obs::Counter::FftLines, lines as u64);
         let slots = peb_par::UnsafeSlice::new(&mut self.data);
         peb_par::parallel_chunks(lines, lines.div_ceil(64), |range| {
-            let mut line = vec![Complex::ZERO; mid];
+            let mut line = peb_pool::PoolBuf::<Complex>::zeroed(mid);
             for li in range {
                 let (o, i) = (li / inner, li % inner);
                 for (m, slot) in line.iter_mut().enumerate() {
@@ -130,6 +144,22 @@ impl ComplexField {
             }
         });
         Ok(())
+    }
+}
+
+impl Clone for ComplexField {
+    fn clone(&self) -> Self {
+        ComplexField {
+            data: peb_pool::take_copy(&self.data).0,
+            shape: self.shape.clone(),
+        }
+    }
+}
+
+impl Drop for ComplexField {
+    /// Returns the storage to the thread-local `peb-pool`.
+    fn drop(&mut self) {
+        peb_pool::recycle(std::mem::take(&mut self.data));
     }
 }
 

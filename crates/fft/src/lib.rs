@@ -31,6 +31,7 @@ mod complex;
 mod convolve;
 mod fft1d;
 mod fftnd;
+mod plan;
 mod rfft;
 
 pub use complex::Complex;

@@ -35,10 +35,9 @@ pub fn rfft1d(data: &[f32]) -> Result<Vec<Complex>, FftError> {
         return Ok(z);
     }
     let half = n / 2;
-    // Pack: z[k] = x[2k] + i·x[2k+1].
-    let mut z: Vec<Complex> = (0..half)
-        .map(|k| Complex::new(data[2 * k], data[2 * k + 1]))
-        .collect();
+    // Pack: z[k] = x[2k] + i·x[2k+1] (pooled scratch).
+    let mut z = peb_pool::PoolBuf::<Complex>::cleared(half);
+    z.extend((0..half).map(|k| Complex::new(data[2 * k], data[2 * k + 1])));
     fft1d_inplace(&mut z, false)?;
     // Untangle: X[k] = E[k] + e^{-2πik/N} O[k], where
     // E[k] = (Z[k] + conj(Z[−k]))/2 and O[k] = (Z[k] − conj(Z[−k]))/(2i).
@@ -89,17 +88,17 @@ pub fn irfft1d_len(spectrum: &[Complex], n: usize) -> Result<Vec<f32>, FftError>
     }
     let _span = peb_obs::span("fft.irfft");
     peb_obs::count(peb_obs::Counter::FftLines, 1);
-    // Rebuild the full Hermitian spectrum and run one complex inverse FFT.
-    // (A half-length unpacking inverse exists for even n; full
-    // reconstruction keeps this path simple and is still dominated by the
-    // forward direction in our workloads.)
-    let mut full = Vec::with_capacity(n);
+    // Rebuild the full Hermitian spectrum (in pooled scratch) and run one
+    // complex inverse FFT. (A half-length unpacking inverse exists for
+    // even n; full reconstruction keeps this path simple and is still
+    // dominated by the forward direction in our workloads.)
+    let mut full = peb_pool::PoolBuf::<Complex>::cleared(n);
     full.extend_from_slice(spectrum);
     for k in bins..n {
         full.push(spectrum[n - k].conj());
     }
     fft1d_inplace(&mut full, true)?;
-    Ok(full.into_iter().map(|c| c.re).collect())
+    Ok(full.iter().map(|c| c.re).collect())
 }
 
 #[cfg(test)]

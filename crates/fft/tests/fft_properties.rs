@@ -111,6 +111,59 @@ proptest! {
     }
 
     #[test]
+    fn plan_cache_is_bitwise_stable_on_prime_lengths(pi in 0usize..14, seed in 0u64..1000) {
+        // The first transform of a given length builds the Bluestein plan;
+        // subsequent transforms replay it from the thread-local cache. A
+        // cached plan must reproduce the cold-path bits exactly, forward
+        // and inverse, on pure Bluestein (prime) lengths.
+        let len = PRIMES[pi];
+        let x = random_complex(len, seed);
+        let first = fft1d(&x).unwrap();
+        for _ in 0..3 {
+            let again = fft1d(&x).unwrap();
+            for (k, (a, b)) in again.iter().zip(&first).enumerate() {
+                prop_assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "cached fft differs at len={} bin {}: {} vs {}", len, k, a, b
+                );
+            }
+        }
+        let inv_first = ifft1d(&first).unwrap();
+        let inv_again = ifft1d(&first).unwrap();
+        for (k, (a, b)) in inv_again.iter().zip(&inv_first).enumerate() {
+            prop_assert!(
+                a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                "cached ifft differs at len={} bin {}: {} vs {}", len, k, a, b
+            );
+        }
+    }
+
+    #[test]
+    fn rfft_plan_cache_is_bitwise_stable_on_odd_lengths(half in 1usize..48, seed in 0u64..1000) {
+        // Odd lengths drive the rfft path through Bluestein; the full
+        // rfft → irfft chain must be reproducible bit for bit when every
+        // plan involved is served from the cache.
+        let len = 2 * half + 1;
+        let x = random_real(len, seed);
+        let spec_first = rfft1d(&x).unwrap();
+        let spec_again = rfft1d(&x).unwrap();
+        for (k, (a, b)) in spec_again.iter().zip(&spec_first).enumerate() {
+            prop_assert!(
+                a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                "cached rfft differs at len={} bin {}: {} vs {}", len, k, a, b
+            );
+        }
+        let back_first = irfft1d_len(&spec_first, len).unwrap();
+        let back_again = irfft1d_len(&spec_first, len).unwrap();
+        for (k, (a, b)) in back_again.iter().zip(&back_first).enumerate() {
+            prop_assert!(
+                a.to_bits() == b.to_bits(),
+                "cached irfft differs at len={} sample {}: {} vs {}", len, k, a, b
+            );
+        }
+    }
+
+    #[test]
     fn parseval_any_length(len in 1usize..97, seed in 0u64..1000) {
         let x = random_complex(len, seed);
         let spec = fft1d(&x).unwrap();

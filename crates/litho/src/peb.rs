@@ -357,10 +357,15 @@ fn implicit_axis(field: &mut Tensor, axis: usize, r: f32, bc_first: EndBc, bc_la
     }
     let _span = peb_obs::span("litho.adi_axis");
     peb_obs::count(peb_obs::Counter::AdiLines, (outer * inner) as u64);
-    // Coefficient arrays are identical for every line of this axis.
-    let lower = vec![-r; n];
-    let upper = vec![-r; n];
-    let mut diag = vec![1.0 + 2.0 * r; n];
+    // Coefficient arrays are identical for every line of this axis;
+    // checked out of the thread-local pool (the solver rebuilds them for
+    // every axis of every step).
+    let mut lower = peb_pool::PoolBuf::<f32>::cleared(n);
+    lower.resize(n, -r);
+    let mut upper = peb_pool::PoolBuf::<f32>::cleared(n);
+    upper.resize(n, -r);
+    let mut diag = peb_pool::PoolBuf::<f32>::cleared(n);
+    diag.resize(n, 1.0 + 2.0 * r);
     // Reflective end rows lose one neighbour.
     diag[0] = 1.0 + r;
     diag[n - 1] = 1.0 + r;
@@ -379,8 +384,8 @@ fn implicit_axis(field: &mut Tensor, axis: usize, r: f32, bc_first: EndBc, bc_la
     let slots = peb_par::UnsafeSlice::new(field.data_mut());
     let (lower, diag, upper) = (&lower[..], &diag[..], &upper[..]);
     peb_par::parallel_chunks(lines, lines.div_ceil(64), |range| {
-        let mut line = vec![0f32; n];
-        let mut gamma = vec![0f32; n];
+        let mut line = peb_pool::PoolBuf::<f32>::zeroed(n);
+        let mut gamma = peb_pool::PoolBuf::<f32>::zeroed(n);
         for li in range {
             let (o, i) = (li / inner, li % inner);
             for (k, lk) in line.iter_mut().enumerate() {
@@ -408,7 +413,7 @@ fn explicit_step(field: &mut Tensor, grid: &Grid, d_lat: f32, d_norm: f32, top_b
         d_lat * dt / (grid.dy * grid.dy),
         d_norm * dt / (grid.dz * grid.dz),
     );
-    let src = field.data().to_vec();
+    let src = peb_pool::PoolBuf::copy_of(field.data());
     let at = |z: usize, y: usize, x: usize| (z * ny + y) * nx + x;
     // Every cell reads the frozen `src` copy and writes only itself:
     // z-slices update in parallel with no ordering sensitivity.

@@ -99,7 +99,7 @@ fn scan_forward(
     l: usize,
     ch: usize,
     n: usize,
-) -> (Tensor, Vec<f32>) {
+) -> (Tensor, peb_pool::PoolBuf<f32>) {
     let _span = peb_obs::span("scan.fwd");
     peb_obs::count(peb_obs::Counter::ScanLanes, ch as u64);
     let (ud, dd, ad, bd, cd, skip) = (
@@ -110,7 +110,10 @@ fn scan_forward(
         c.data(),
         d.data(),
     );
-    let mut h_traj = vec![0f32; l * ch * n];
+    // The trajectory is the big (L·C·N) scratch of the scan; pooled so
+    // repeated forward/backward passes reuse one buffer. It is handed to
+    // the backward closure and recycles when the graph node drops.
+    let mut h_traj = peb_pool::PoolBuf::<f32>::zeroed(l * ch * n);
     let mut y = Tensor::zeros(&[l, ch]);
     {
         // Channel lanes are independent: the t-recurrence runs
@@ -120,7 +123,7 @@ fn scan_forward(
         let yslots = peb_par::UnsafeSlice::new(y.data_mut());
         let hslots = peb_par::UnsafeSlice::new(&mut h_traj);
         peb_par::parallel_chunks(ch, ch.div_ceil(8), |lanes| {
-            let mut h = vec![0f32; n];
+            let mut h = peb_pool::PoolBuf::<f32>::zeroed(n);
             for ci in lanes {
                 h.fill(0.0);
                 for t in 0..l {
@@ -187,10 +190,10 @@ fn scan_backward(
         let daslots = peb_par::UnsafeSlice::new(da.data_mut());
         let dsslots = peb_par::UnsafeSlice::new(dskip.data_mut());
         peb_par::parallel_chunks_collect(ch, ch.div_ceil(8), |lanes| {
-            let mut dbp = vec![0f32; l * n];
-            let mut dcp = vec![0f32; l * n];
+            let mut dbp = peb_pool::PoolBuf::<f32>::zeroed(l * n);
+            let mut dcp = peb_pool::PoolBuf::<f32>::zeroed(l * n);
             // dh carried backward through the recurrence, per state.
-            let mut dh = vec![0f32; n];
+            let mut dh = peb_pool::PoolBuf::<f32>::zeroed(n);
             for ci in lanes {
                 dh.fill(0.0);
                 for t in (0..l).rev() {
@@ -238,11 +241,11 @@ fn scan_backward(
     };
     let (dbd, dcd) = (db.data_mut(), dc.data_mut());
     for (dbp, dcp) in partials {
-        for (o, v) in dbd.iter_mut().zip(dbp) {
-            *o += v;
+        for (o, v) in dbd.iter_mut().zip(dbp.iter()) {
+            *o += *v;
         }
-        for (o, v) in dcd.iter_mut().zip(dcp) {
-            *o += v;
+        for (o, v) in dcd.iter_mut().zip(dcp.iter()) {
+            *o += *v;
         }
     }
     vec![du, ddelta, da, db, dc, dskip]
@@ -515,7 +518,7 @@ pub fn selective_scan_chunked(
         // (the memory-bounding structure) runs per lane.
         let yslots = peb_par::UnsafeSlice::new(y.data_mut());
         peb_par::parallel_chunks(ch, ch.div_ceil(8), |lanes| {
-            let mut h = vec![0f32; n];
+            let mut h = peb_pool::PoolBuf::<f32>::zeroed(n);
             for ci in lanes.clone() {
                 h.fill(0.0);
                 let mut t0 = 0usize;

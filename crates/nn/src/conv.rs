@@ -33,8 +33,11 @@ fn im2col2(input: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> T
     let src = input.data();
     let cols = ho * wo;
     let per_c = kh * kw * cols;
-    let mut out = vec![0f32; cin * per_c];
-    peb_par::parallel_chunks_mut(&mut out, per_c, |offset, chunk| {
+    // Pooled patch matrix: `zeros` checks the (large) buffer out of the
+    // thread-local pool instead of allocating it on every forward and
+    // backward pass.
+    let mut out = Tensor::zeros(&[cin * kh * kw, cols]);
+    peb_par::parallel_chunks_mut(out.data_mut(), per_c, |offset, chunk| {
         let c = offset / per_c;
         for ky in 0..kh {
             for kx in 0..kw {
@@ -55,7 +58,7 @@ fn im2col2(input: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> T
         }
     });
     peb_obs::count(peb_obs::Counter::Im2colBytes, 4 * (cin * per_c) as u64);
-    Tensor::from_vec(out, &[cin * kh * kw, cols]).expect("im2col2")
+    out
 }
 
 /// Adjoint of [`im2col2`]: folds a patch matrix back into `[Cin, H, W]`,
@@ -130,8 +133,9 @@ fn im2col3(
     let src = input.data();
     let cols = dd * hh * ww;
     let per_c = kd * kh * kw * cols;
-    let mut out = vec![0f32; cin * per_c];
-    peb_par::parallel_chunks_mut(&mut out, per_c, |offset, chunk| {
+    // Pooled patch matrix, as in `im2col2`.
+    let mut out = Tensor::zeros(&[cin * kd * kh * kw, cols]);
+    peb_par::parallel_chunks_mut(out.data_mut(), per_c, |offset, chunk| {
         let c = offset / per_c;
         for kz in 0..kd {
             for ky in 0..kh {
@@ -165,7 +169,7 @@ fn im2col3(
         }
     });
     peb_obs::count(peb_obs::Counter::Im2colBytes, 4 * (cin * per_c) as u64);
-    Tensor::from_vec(out, &[cin * kd * kh * kw, cols]).expect("im2col3")
+    out
 }
 
 /// Adjoint of [`im2col3`].

@@ -161,13 +161,23 @@ pub enum Counter {
     ScanLanes = 4,
     /// Gauss–Seidel sweep passes performed by the eikonal solver.
     EikonalSweeps = 5,
-    /// Tensor buffer allocations (every `Tensor` constructor).
+    /// Fresh heap allocations of tensor/scratch storage. With the
+    /// `peb-pool` buffer pool active this counts only pool *misses*
+    /// (checkouts that had to allocate); with the pool disabled it counts
+    /// every `Tensor` constructor, matching the pre-pool semantics.
     TensorAllocs = 6,
     /// Optimiser steps applied.
     OptimSteps = 7,
+    /// Buffer-pool checkouts served from a recycled buffer.
+    PoolHits = 8,
+    /// Buffer-pool checkouts that had to allocate fresh storage.
+    PoolMisses = 9,
+    /// FFT transforms served from a cached plan (twiddle tables,
+    /// bit-reversal permutation, Bluestein chirp/filter spectra).
+    FftPlanHits = 10,
 }
 
-const N_COUNTERS: usize = 8;
+const N_COUNTERS: usize = 11;
 
 const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "gemm_flops",
@@ -178,6 +188,9 @@ const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "eikonal_sweeps",
     "tensor_allocs",
     "optimizer_steps",
+    "pool_hits",
+    "pool_misses",
+    "fft_plan_hits",
 ];
 
 #[allow(clippy::declare_interior_mutable_const)]

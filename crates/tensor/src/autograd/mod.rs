@@ -213,7 +213,7 @@ impl Var {
                 "backward() requires a scalar output, got shape {:?}",
                 v.shape()
             );
-            Tensor::from_vec(vec![1.0], v.shape()).expect("seed")
+            Tensor::full(v.shape(), 1.0)
         };
         self.backward_with(seed);
     }

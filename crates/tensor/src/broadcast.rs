@@ -21,7 +21,7 @@ impl Tensor {
         let n = numel(&out_shape);
         let ld = self.data();
         let rd = other.data();
-        let mut data = Vec::with_capacity(n);
+        let mut data = crate::tensor::alloc_cleared(n);
         // Walk output coordinates incrementally to avoid a div/mod per axis
         // per element on the hot path.
         let rank = out_shape.len();
@@ -43,7 +43,7 @@ impl Tensor {
             }
         }
         let _ = out_strides;
-        Tensor::from_vec(data, &out_shape)
+        Ok(Tensor::from_pooled(data, &out_shape))
     }
 
     /// Sums `self` down to `target_shape`, the adjoint of broadcasting.
@@ -77,7 +77,8 @@ impl Tensor {
             );
         }
         let out_n = numel(&padded);
-        let mut out = vec![0f32; out_n];
+        let mut out = crate::tensor::alloc_cleared(out_n);
+        out.resize(out_n, 0.0);
         let src_strides = strides_for(&src_shape);
         let dst_strides = strides_for(&padded);
         for (flat, &v) in self.data().iter().enumerate() {
@@ -89,7 +90,7 @@ impl Tensor {
             }
             out[dst] += v;
         }
-        Tensor::from_vec(out, target_shape).expect("reduce_to_shape length")
+        Tensor::from_pooled(out, target_shape)
     }
 }
 

@@ -26,9 +26,11 @@ impl Tensor {
         let (m, k, n) = (ls[0], ls[1], rs[1]);
         let _span = peb_obs::span("gemm.matmul");
         peb_obs::count(peb_obs::Counter::GemmFlops, 2 * (m * k * n) as u64);
-        let mut out = vec![0f32; m * n];
-        matmul_into(self.data(), other.data(), &mut out, m, k, n);
-        Tensor::from_vec(out, &[m, n])
+        // Pooled output panel: `zeros` checks out (pre-zeroed) from the
+        // thread-local pool, which the accumulating kernel requires.
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_into(self.data(), other.data(), out.data_mut(), m, k, n);
+        Ok(out)
     }
 
     /// Batched matrix product: `[b, m, k] × [b, k, n] → [b, m, n]`.
@@ -49,11 +51,11 @@ impl Tensor {
         let (b, m, k, n) = (ls[0], ls[1], ls[2], rs[2]);
         let _span = peb_obs::span("gemm.bmm");
         peb_obs::count(peb_obs::Counter::GemmFlops, 2 * (b * m * k * n) as u64);
-        let mut out = vec![0f32; b * m * n];
+        let mut out = Tensor::zeros(&[b, m, n]);
         // Batches are independent; when there is only one, run_parallel
         // falls through without entering a parallel region, so the inner
         // GEMM still parallelises over its row panels.
-        peb_par::parallel_chunks_mut(&mut out, m * n, |offset, chunk| {
+        peb_par::parallel_chunks_mut(out.data_mut(), m * n, |offset, chunk| {
             let bi = offset / (m * n);
             matmul_into(
                 &self.data()[bi * m * k..(bi + 1) * m * k],
@@ -64,7 +66,7 @@ impl Tensor {
                 n,
             );
         });
-        Tensor::from_vec(out, &[b, m, n])
+        Ok(out)
     }
 
     /// Transpose of a rank-2 tensor, copied through 32×32 tiles so both
@@ -81,19 +83,20 @@ impl Tensor {
         let _span = peb_obs::span("gemm.transpose2");
         let (m, n) = (self.shape()[0], self.shape()[1]);
         let src = self.data();
-        let mut out = vec![0f32; m * n];
+        let mut out = Tensor::zeros(&[n, m]);
+        let od = out.data_mut();
         for ib in (0..m).step_by(TB) {
             let ie = (ib + TB).min(m);
             for jb in (0..n).step_by(TB) {
                 let je = (jb + TB).min(n);
                 for i in ib..ie {
                     for j in jb..je {
-                        out[j * m + i] = src[i * n + j];
+                        od[j * m + i] = src[i * n + j];
                     }
                 }
             }
         }
-        Tensor::from_vec(out, &[n, m]).expect("transpose2 length")
+        out
     }
 }
 

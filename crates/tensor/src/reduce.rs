@@ -122,7 +122,7 @@ impl Tensor {
         let mut out_shape = shape.to_vec();
         out_shape.remove(axis);
         let src = self.data();
-        let mut out = Vec::with_capacity(outer * inner);
+        let mut out = crate::tensor::alloc_cleared(outer * inner);
         for o in 0..outer {
             for i in 0..inner {
                 let mut acc = init;
@@ -132,7 +132,7 @@ impl Tensor {
                 out.push(finish(acc, mid));
             }
         }
-        Tensor::from_vec(out, &out_shape)
+        Ok(Tensor::from_pooled(out, &out_shape))
     }
 }
 

@@ -16,7 +16,10 @@ impl Tensor {
                 shape: shape.to_vec(),
             });
         }
-        Tensor::from_vec(self.data().to_vec(), shape)
+        Ok(Tensor::from_pooled(
+            crate::tensor::alloc_copy(self.data()),
+            shape,
+        ))
     }
 
     /// Materialised axis permutation; `perm[i]` is the source axis placed
@@ -47,7 +50,7 @@ impl Tensor {
         let out_shape: Vec<usize> = perm.iter().map(|&p| src_shape[p]).collect();
         let n = self.len();
         let src = self.data();
-        let mut out = Vec::with_capacity(n);
+        let mut out = crate::tensor::alloc_cleared(n);
         let rank_out = out_shape.len();
         let mut coords = vec![0usize; rank_out];
         // Stride of each output axis in the *source* buffer.
@@ -65,7 +68,7 @@ impl Tensor {
                 src_idx -= axis_stride[axis] * out_shape[axis];
             }
         }
-        Tensor::from_vec(out, &out_shape)
+        Ok(Tensor::from_pooled(out, &out_shape))
     }
 
     /// Concatenates tensors along `axis`.
@@ -106,7 +109,7 @@ impl Tensor {
         out_shape[axis] = total_axis;
         let outer: usize = first.shape()[..axis].iter().product();
         let inner: usize = first.shape()[axis + 1..].iter().product();
-        let mut out = Vec::with_capacity(numel(&out_shape));
+        let mut out = crate::tensor::alloc_cleared(numel(&out_shape));
         for o in 0..outer {
             for p in parts {
                 let mid = p.shape()[axis];
@@ -114,7 +117,7 @@ impl Tensor {
                 out.extend_from_slice(&p.data()[o * chunk..(o + 1) * chunk]);
             }
         }
-        Tensor::from_vec(out, &out_shape)
+        Ok(Tensor::from_pooled(out, &out_shape))
     }
 
     /// Extracts `[start, end)` along `axis`.
@@ -139,13 +142,13 @@ impl Tensor {
         let inner: usize = self.shape()[axis + 1..].iter().product();
         let mut out_shape = self.shape().to_vec();
         out_shape[axis] = end - start;
-        let mut out = Vec::with_capacity(numel(&out_shape));
+        let mut out = crate::tensor::alloc_cleared(numel(&out_shape));
         let src = self.data();
         for o in 0..outer {
             let base = (o * dim + start) * inner;
             out.extend_from_slice(&src[base..base + (end - start) * inner]);
         }
-        Tensor::from_vec(out, &out_shape)
+        Ok(Tensor::from_pooled(out, &out_shape))
     }
 
     /// Zero-pads each axis by `(before, after)` amounts.
@@ -239,7 +242,7 @@ impl Tensor {
         out_shape[rank - 2] = oh;
         out_shape[rank - 1] = ow;
         let src = self.data();
-        let mut out = Vec::with_capacity(batch * oh * ow);
+        let mut out = crate::tensor::alloc_cleared(batch * oh * ow);
         for b in 0..batch {
             for oy in 0..oh {
                 let iy = oy / factor;
@@ -249,7 +252,7 @@ impl Tensor {
                 }
             }
         }
-        Tensor::from_vec(out, &out_shape)
+        Ok(Tensor::from_pooled(out, &out_shape))
     }
 }
 
@@ -359,7 +362,8 @@ impl Tensor {
         let mid = shape[axis];
         let inner: usize = shape[axis + 1..].iter().product();
         let src = self.data();
-        let mut out = vec![0f32; self.len()];
+        let mut out = crate::tensor::alloc_cleared(self.len());
+        out.resize(self.len(), 0.0);
         for o in 0..outer {
             for m in 0..mid {
                 let dst_m = mid - 1 - m;
@@ -367,7 +371,7 @@ impl Tensor {
                     .copy_from_slice(&src[(o * mid + m) * inner..(o * mid + m + 1) * inner]);
             }
         }
-        Tensor::from_vec(out, shape)
+        Ok(Tensor::from_pooled(out, shape))
     }
 }
 

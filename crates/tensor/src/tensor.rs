@@ -23,10 +23,33 @@ use crate::{Result, TensorError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
+}
+
+/// Checks out an **empty** pooled buffer with capacity ≥ `cap` from the
+/// thread-local `peb-pool`, counting a `tensor_allocs` only when fresh
+/// heap storage was allocated (a pool miss, or the pool is disabled).
+/// Every constructor routes through here so dropped tensors (recycled by
+/// the `Drop` impl) feed the next construction.
+pub(crate) fn alloc_cleared(cap: usize) -> Vec<f32> {
+    let (v, fresh) = peb_pool::take_cleared(cap);
+    if fresh {
+        peb_obs::count(peb_obs::Counter::TensorAllocs, 1);
+    }
+    v
+}
+
+/// Pooled copy of a slice, with the same alloc accounting as
+/// [`alloc_cleared`].
+pub(crate) fn alloc_copy(src: &[f32]) -> Vec<f32> {
+    let (v, fresh) = peb_pool::take_copy(src);
+    if fresh {
+        peb_obs::count(peb_obs::Counter::TensorAllocs, 1);
+    }
+    v
 }
 
 impl Tensor {
@@ -50,20 +73,34 @@ impl Tensor {
         })
     }
 
+    /// Wraps a buffer that came from [`alloc_cleared`]/[`alloc_copy`]
+    /// (whose checkout already did the alloc accounting) without counting
+    /// a second `tensor_allocs`.
+    pub(crate) fn from_pooled(data: Vec<f32>, shape: &[usize]) -> Self {
+        debug_assert_eq!(data.len(), numel(shape));
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
     /// Creates a rank-0 (scalar) tensor.
     pub fn scalar(value: f32) -> Self {
-        peb_obs::count(peb_obs::Counter::TensorAllocs, 1);
+        let mut data = alloc_cleared(1);
+        data.push(value);
         Self {
-            data: vec![value],
+            data,
             shape: Vec::new(),
         }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        peb_obs::count(peb_obs::Counter::TensorAllocs, 1);
+        let n = numel(shape);
+        let mut data = alloc_cleared(n);
+        data.resize(n, value);
         Self {
-            data: vec![value; numel(shape)],
+            data,
             shape: shape.to_vec(),
         }
     }
@@ -81,11 +118,10 @@ impl Tensor {
     /// Creates a tensor by evaluating `f` at each flat index.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let n = numel(shape);
-        let mut data = Vec::with_capacity(n);
+        let mut data = alloc_cleared(n);
         for i in 0..n {
             data.push(f(i));
         }
-        peb_obs::count(peb_obs::Counter::TensorAllocs, 1);
         Self {
             data,
             shape: shape.to_vec(),
@@ -122,9 +158,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its flat buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning its flat buffer. (The buffer is
+    /// moved out, so nothing is recycled into the pool on drop.)
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Row-major strides (in elements).
@@ -168,8 +205,10 @@ impl Tensor {
 
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        let mut data = alloc_cleared(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
         Self {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
             shape: self.shape.clone(),
         }
     }
@@ -195,13 +234,15 @@ impl Tensor {
                 rhs: other.shape.clone(),
             });
         }
-        Ok(Self {
-            data: self
-                .data
+        let mut data = alloc_cleared(self.data.len());
+        data.extend(
+            self.data
                 .iter()
                 .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+                .map(|(&a, &b)| f(a, b)),
+        );
+        Ok(Self {
+            data,
             shape: self.shape.clone(),
         })
     }
@@ -231,6 +272,28 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(&a, &b)| (a - b).abs())
             .fold(0.0, f32::max)
+    }
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let (data, fresh) = peb_pool::take_copy(&self.data);
+        if fresh {
+            peb_obs::count(peb_obs::Counter::TensorAllocs, 1);
+        }
+        Self {
+            data,
+            shape: self.shape.clone(),
+        }
+    }
+}
+
+impl Drop for Tensor {
+    /// Returns the storage to the thread-local `peb-pool` so the next
+    /// same-sized constructor reuses it instead of allocating. A no-op
+    /// when the pool is disabled or the buffer was moved out.
+    fn drop(&mut self) {
+        peb_pool::recycle(std::mem::take(&mut self.data));
     }
 }
 
