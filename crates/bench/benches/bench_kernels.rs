@@ -8,7 +8,7 @@ use rand::SeedableRng;
 
 use peb_fft::{convolve2d_periodic, fft2d, ComplexField};
 use peb_nn::Conv2d;
-use peb_tensor::kernels::{matmul_blocked, matmul_naive};
+use peb_tensor::kernels::{matmul_naive, matmul_par};
 use peb_tensor::{Tensor, Var};
 
 fn bench_matmul(c: &mut Criterion) {
@@ -26,8 +26,8 @@ fn bench_matmul(c: &mut Criterion) {
 }
 
 fn bench_matmul_kernels(c: &mut Criterion) {
-    // Blocked-vs-naive single-thread GEMM: isolates the cache-blocking
-    // win from the threading win.
+    // Packed-vs-naive single-thread GEMM: isolates the microkernel win
+    // (packing + register tiling + SIMD) from the threading win.
     let mut group = c.benchmark_group("matmul_kernel");
     group.sample_size(10);
     let mut rng = StdRng::seed_from_u64(6);
@@ -42,10 +42,10 @@ fn bench_matmul_kernels(c: &mut Criterion) {
                 std::hint::black_box(out[0])
             })
         });
-        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |bench, _| {
             bench.iter(|| {
                 out.fill(0.0);
-                matmul_blocked(a.data(), b.data(), &mut out, n, n, n);
+                peb_par::with_thread_count(1, || matmul_par(a.data(), b.data(), &mut out, n, n, n));
                 std::hint::black_box(out[0])
             })
         });

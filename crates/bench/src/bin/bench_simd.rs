@@ -1,0 +1,348 @@
+//! Measures the `peb-simd` dispatch layer and emits `BENCH_simd.json`.
+//!
+//! Three microkernels are timed on both backends through the forced
+//! `*_scalar` / `*_simd` entry points — packed GEMM, the selective-scan
+//! lane recurrence, and the factored ADI line solve — plus the
+//! end-to-end Table I micro training step (the `BENCH_pool.json`
+//! workload) with the dispatch level forced to scalar and to the
+//! detected best level. The run asserts the headline acceptance gates:
+//! SIMD GEMM at ≥2× scalar GFLOP/s on AVX2 hardware, and bitwise
+//! identity of the pipeline across 1 vs 4 threads with SIMD on.
+
+use std::time::Instant;
+
+use peb_litho::{Grid, LithoFlow, MaskConfig};
+use peb_nn::{Adam, Optimizer, Parameterized};
+use peb_par::UnsafeSlice;
+use peb_simd::{elementwise as ew, gemm, scan, thomas};
+use peb_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdm_peb::{LabelTransform, PebLoss, PebPredictor, SdmPeb, SdmPebConfig};
+
+const STEPS: usize = 15;
+const MODEL_SEED: u64 = 1;
+
+fn pseudo(len: usize, salt: u32, lo: f32, hi: f32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            lo + (x as f32 / u32::MAX as f32) * (hi - lo)
+        })
+        .collect()
+}
+
+/// Times `reps` calls of `f` and converts `flops_per_call` to GFLOP/s.
+fn gflops(reps: usize, flops_per_call: f64, mut f: impl FnMut()) -> f64 {
+    // One untimed call warms caches and the page tables.
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let wall = start.elapsed().as_secs_f64();
+    reps as f64 * flops_per_call / wall / 1e9
+}
+
+/// Packed GEMM, both backends, on a square problem sized to stress the
+/// register tile and the packing loop.
+fn bench_gemm() -> (f64, f64) {
+    let (m, k, n) = (256usize, 256usize, 256usize);
+    let a = pseudo(m * k, 1, -1.0, 1.0);
+    let b = pseudo(k * n, 2, -1.0, 1.0);
+    let mut out = vec![0f32; m * n];
+    let flops = 2.0 * (m * k * n) as f64;
+    let scalar = gflops(4, flops, || gemm::gemm_scalar(&a, &b, &mut out, m, k, n));
+    let simd = if peb_simd::detected() {
+        gflops(16, flops, || {
+            gemm::gemm_simd(&a, &b, &mut out, m, k, n);
+        })
+    } else {
+        scalar
+    };
+    (scalar, simd)
+}
+
+/// Selective-scan forward recurrence over full lane groups.
+fn bench_scan() -> (f64, f64) {
+    let (l, ch, n) = (256usize, 64usize, 16usize);
+    let u = pseudo(l * ch, 3, -1.0, 1.0);
+    let delta = pseudo(l * ch, 4, 0.05, 0.5);
+    let a = pseudo(ch * n, 5, -1.5, -0.2);
+    let b = pseudo(l * n, 6, -1.0, 1.0);
+    let c = pseudo(l * n, 7, -1.0, 1.0);
+    let d = pseudo(ch, 8, -1.0, 1.0);
+    let mut y = vec![0f32; l * ch];
+    // exp + 2 fma + dot accumulation per (t, state, lane): ~12 flops.
+    let flops = 12.0 * (l * ch * n) as f64;
+    let mut run = |simd: bool| {
+        let ys = UnsafeSlice::new(&mut y);
+        let mut apack = Vec::new();
+        let mut h = vec![0f32; n * 8];
+        for ci0 in (0..ch).step_by(8) {
+            scan::pack_a_lanes8(&a, n, ci0, &mut apack);
+            h.iter_mut().for_each(|v| *v = 0.0);
+            // SAFETY: single-threaded; lane groups are disjoint.
+            unsafe {
+                if simd {
+                    scan::scan_forward_lanes8_simd(
+                        &u,
+                        &delta,
+                        &apack,
+                        &b,
+                        &c,
+                        &d[ci0..],
+                        &mut h,
+                        &ys,
+                        None,
+                        l,
+                        ch,
+                        n,
+                        ci0,
+                    );
+                } else {
+                    scan::scan_forward_lanes8_scalar(
+                        &u,
+                        &delta,
+                        &apack,
+                        &b,
+                        &c,
+                        &d[ci0..],
+                        &mut h,
+                        &ys,
+                        None,
+                        l,
+                        ch,
+                        n,
+                        ci0,
+                    );
+                }
+            }
+        }
+    };
+    let scalar = gflops(8, flops, || run(false));
+    let simd = if peb_simd::detected() {
+        gflops(32, flops, || run(true))
+    } else {
+        scalar
+    };
+    (scalar, simd)
+}
+
+/// Factored tridiagonal line solves in interleaved groups of eight.
+fn bench_adi() -> (f64, f64) {
+    let n = 64usize; // line length
+    let groups = 128usize; // 8 lines each
+    let r = 0.37f32;
+    let a = vec![-r; n];
+    let c = vec![-r; n];
+    let mut bdiag = vec![1.0 + 2.0 * r; n];
+    bdiag[0] = 1.0 + r;
+    bdiag[n - 1] = 1.0 + r;
+    let (mut beta, mut gamma) = (Vec::new(), Vec::new());
+    thomas::factor_tridiagonal(&a, &bdiag, &c, &mut beta, &mut gamma);
+    let field0 = pseudo(n * groups * 8, 9, -1.0, 1.0);
+    let mut field = field0.clone();
+    // Elimination (5 flops) + back substitution (2 flops) per element.
+    let flops = 7.0 * (n * groups * 8) as f64;
+    let mut run = |simd: bool| {
+        field.copy_from_slice(&field0);
+        let slots = UnsafeSlice::new(&mut field);
+        for g in 0..groups {
+            // SAFETY: single-threaded; groups own disjoint interleaves.
+            unsafe {
+                if simd {
+                    thomas::solve_factored_lines8_simd(
+                        &a,
+                        &beta,
+                        &gamma,
+                        &slots,
+                        g * n * 8,
+                        8,
+                        n,
+                        0.0,
+                        0.0,
+                    );
+                } else {
+                    thomas::solve_factored_lines8_scalar(
+                        &a,
+                        &beta,
+                        &gamma,
+                        &slots,
+                        g * n * 8,
+                        8,
+                        n,
+                        0.0,
+                        0.0,
+                    );
+                }
+            }
+        }
+    };
+    let scalar = gflops(16, flops, || run(false));
+    let simd = if peb_simd::detected() {
+        gflops(64, flops, || run(true))
+    } else {
+        scalar
+    };
+    (scalar, simd)
+}
+
+/// Elementwise axpy on a large buffer (bandwidth-bound reference point).
+fn bench_axpy() -> (f64, f64) {
+    let len = 1 << 16;
+    let x = pseudo(len, 10, -1.0, 1.0);
+    let mut y = vec![0f32; len];
+    let flops = 2.0 * len as f64;
+    let scalar = gflops(256, flops, || ew::vaxpy_scalar_backend(&mut y, 0.5, &x));
+    let simd = if peb_simd::detected() {
+        gflops(1024, flops, || {
+            ew::vaxpy_simd_backend(&mut y, 0.5, &x);
+        })
+    } else {
+        scalar
+    };
+    (scalar, simd)
+}
+
+fn micro_grid() -> Grid {
+    Grid::new(16, 16, 4, 8.0, 8.0, 20.0).expect("micro grid")
+}
+
+/// One full Table I micro pipeline step (the `BENCH_pool.json` workload).
+fn step(grid: Grid, model: &SdmPeb, loss: &PebLoss, opt: &mut Adam) -> Tensor {
+    let clip = MaskConfig::demo(grid.nx).generate(1).expect("clip");
+    let sim = LithoFlow::new(grid).run(&clip).expect("rigorous chain");
+    let label = LabelTransform::paper().encode(&sim.inhibitor);
+    let params = model.parameters();
+    params.iter().for_each(|p| p.zero_grad());
+    let pred = model.forward_train(&sim.acid0);
+    loss.combined(&pred, &label).backward();
+    opt.step(&params);
+    pred.value_clone()
+}
+
+/// `STEPS` end-to-end steps at the given dispatch level and thread
+/// count; returns `(wall_seconds, final_prediction)`.
+fn run_pipeline(level: peb_simd::Level, threads: usize) -> (f64, Tensor) {
+    peb_simd::set_level(level);
+    let grid = micro_grid();
+    let mut rng = StdRng::seed_from_u64(MODEL_SEED);
+    let model = SdmPeb::new(SdmPebConfig::tiny((grid.nz, grid.ny, grid.nx)), &mut rng);
+    let loss = PebLoss::paper();
+    let mut opt = Adam::new(1e-3);
+    let _ = peb_par::with_thread_count(threads, || step(grid, &model, &loss, &mut opt));
+    let start = Instant::now();
+    let mut last = None;
+    for _ in 0..STEPS {
+        last = Some(peb_par::with_thread_count(threads, || {
+            step(grid, &model, &loss, &mut opt)
+        }));
+    }
+    (start.elapsed().as_secs_f64(), last.expect("step output"))
+}
+
+fn bits_identical(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn main() {
+    peb_pool::set_enabled(true);
+    let detected = peb_simd::detected();
+    let best = peb_simd::best_level();
+
+    let (gemm_s, gemm_v) = bench_gemm();
+    let (scan_s, scan_v) = bench_scan();
+    let (adi_s, adi_v) = bench_adi();
+    let (axpy_s, axpy_v) = bench_axpy();
+
+    let (wall_scalar, _) = run_pipeline(peb_simd::Level::Scalar, 1);
+    let (wall_simd, pred1) = run_pipeline(best, 1);
+    let (wall_simd4, pred4) = run_pipeline(best, 4);
+    let identical_threads = bits_identical(&pred1, &pred4);
+
+    println!("== peb-simd benchmark (dispatch: {}) ==", best.name());
+    println!(
+        "  GEMM 256³      scalar: {gemm_s:6.2} GFLOP/s   simd: {gemm_v:6.2} GFLOP/s   ({:.2}×)",
+        gemm_v / gemm_s
+    );
+    println!(
+        "  scan 256×64×16 scalar: {scan_s:6.2} GFLOP/s   simd: {scan_v:6.2} GFLOP/s   ({:.2}×)",
+        scan_v / scan_s
+    );
+    println!(
+        "  ADI 1024×64    scalar: {adi_s:6.2} GFLOP/s   simd: {adi_v:6.2} GFLOP/s   ({:.2}×)",
+        adi_v / adi_s
+    );
+    println!(
+        "  axpy 64k       scalar: {axpy_s:6.2} GFLOP/s   simd: {axpy_v:6.2} GFLOP/s   ({:.2}×)",
+        axpy_v / axpy_s
+    );
+    println!(
+        "  table1 step ×{STEPS}: scalar {wall_scalar:.3}s   simd {wall_simd:.3}s   simd ×4 threads {wall_simd4:.3}s"
+    );
+    println!("  bitwise identical 1 vs 4 threads (simd on): {identical_threads}");
+
+    assert!(
+        identical_threads,
+        "threading changed the numbers with SIMD on"
+    );
+    if detected {
+        assert!(
+            gemm_v >= 2.0 * gemm_s,
+            "SIMD GEMM {gemm_v:.2} GFLOP/s is below 2x scalar {gemm_s:.2}"
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": \"peb-simd microkernels + table1 micro train step\",\n",
+            "  \"simd_detected\": {},\n",
+            "  \"dispatch_level\": \"{}\",\n",
+            "  \"gemm_gflops_scalar\": {:.3},\n",
+            "  \"gemm_gflops_simd\": {:.3},\n",
+            "  \"gemm_speedup\": {:.3},\n",
+            "  \"scan_gflops_scalar\": {:.3},\n",
+            "  \"scan_gflops_simd\": {:.3},\n",
+            "  \"scan_speedup\": {:.3},\n",
+            "  \"adi_gflops_scalar\": {:.3},\n",
+            "  \"adi_gflops_simd\": {:.3},\n",
+            "  \"adi_speedup\": {:.3},\n",
+            "  \"axpy_gflops_scalar\": {:.3},\n",
+            "  \"axpy_gflops_simd\": {:.3},\n",
+            "  \"steps\": {},\n",
+            "  \"wall_seconds_scalar_level\": {:.6},\n",
+            "  \"wall_seconds_simd_level\": {:.6},\n",
+            "  \"wall_seconds_simd_level_4_threads\": {:.6},\n",
+            "  \"end_to_end_speedup\": {:.3},\n",
+            "  \"bitwise_identical_1_vs_4_threads\": {}\n",
+            "}}\n"
+        ),
+        detected,
+        best.name(),
+        gemm_s,
+        gemm_v,
+        gemm_v / gemm_s,
+        scan_s,
+        scan_v,
+        scan_v / scan_s,
+        adi_s,
+        adi_v,
+        adi_v / adi_s,
+        axpy_s,
+        axpy_v,
+        STEPS,
+        wall_scalar,
+        wall_simd,
+        wall_simd4,
+        wall_scalar / wall_simd,
+        identical_threads,
+    );
+    std::fs::write("BENCH_simd.json", &json).expect("write BENCH_simd.json");
+    println!("  wrote BENCH_simd.json");
+}

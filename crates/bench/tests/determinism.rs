@@ -6,6 +6,12 @@
 //! bits* — not merely close values. These tests drive each parallel kernel
 //! at both thread counts through `peb_par::with_thread_count` and compare
 //! exact bit patterns.
+//!
+//! These tests run at the process's latched `PEB_SIMD` dispatch level —
+//! the AVX2+FMA vector path on supporting hardware — so they pin the
+//! thread-count contract *with SIMD on*. Cross-level checks (scalar vs
+//! vector) live in `simd_determinism.rs`, which owns its own process so
+//! it can flip the global level safely.
 
 use peb_litho::{
     measure_contact_cds, solve_eikonal, EikonalConfig, Grid, MackParams, MaskConfig, PebParams,

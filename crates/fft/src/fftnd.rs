@@ -127,7 +127,10 @@ impl ComplexField {
         let _span = peb_obs::span("fft.axis");
         peb_obs::count(peb_obs::Counter::FftLines, lines as u64);
         let slots = peb_par::UnsafeSlice::new(&mut self.data);
-        peb_par::parallel_chunks(lines, lines.div_ceil(64), |range| {
+        // ~5·n·log₂n complex flops per line, plus the gather/scatter.
+        let line_cost =
+            5 * (mid as u64) * (usize::BITS - mid.leading_zeros()) as u64 + 4 * mid as u64;
+        peb_par::parallel_chunks_cost(lines, lines.div_ceil(64), line_cost, |range| {
             let mut line = peb_pool::PoolBuf::<Complex>::zeroed(mid);
             for li in range {
                 let (o, i) = (li / inner, li % inner);

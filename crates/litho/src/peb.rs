@@ -30,7 +30,6 @@ use serde::{Deserialize, Serialize};
 
 use peb_tensor::Tensor;
 
-use crate::tridiag::solve_tridiagonal;
 use crate::{Grid, LithoError, Result};
 
 /// PEB physical parameters; defaults are the paper's Table I.
@@ -338,12 +337,16 @@ fn rk4_neutralise(a: f32, b: f32, kr: f32, dt: f32) -> (f32, f32) {
 /// `(I − r·L_axis) u_new = u_old` line by line, where `r = D·dt/h²` and
 /// `L_axis` is the 1-D Laplacian with the given end conditions.
 ///
-/// The `outer·inner` tridiagonal lines are independent, so they fan out
-/// over the `peb-par` pool; each worker chunk carries its own
-/// `line`/`gamma` scratch while the coefficient arrays (identical for
-/// every line of the axis) are shared read-only. Each line reads and
-/// writes only its own strided positions, so the sweep is bitwise
-/// identical at any thread count.
+/// Every line of the axis shares one constant-coefficient matrix, so the
+/// elimination is factored **once** (`peb_simd::thomas`) and each line
+/// replays only the cheap per-line operations — bitwise identical to the
+/// in-line `solve_tridiagonal` elimination. Groups of eight lines that
+/// are adjacent in the innermost dimension solve in place through the
+/// vectorized interleaved kernel (no gather/scatter); leftover lines — and
+/// all of axis 2, whose lines are not memory-adjacent — take the scalar
+/// factored path. The `outer·inner` lines fan out over the `peb-par`
+/// pool; each line reads and writes only its own strided positions, so
+/// the sweep stays bitwise identical at any thread count.
 fn implicit_axis(field: &mut Tensor, axis: usize, r: f32, bc_first: EndBc, bc_last: EndBc) {
     if r == 0.0 {
         return;
@@ -362,8 +365,6 @@ fn implicit_axis(field: &mut Tensor, axis: usize, r: f32, bc_first: EndBc, bc_la
     // every axis of every step).
     let mut lower = peb_pool::PoolBuf::<f32>::cleared(n);
     lower.resize(n, -r);
-    let mut upper = peb_pool::PoolBuf::<f32>::cleared(n);
-    upper.resize(n, -r);
     let mut diag = peb_pool::PoolBuf::<f32>::cleared(n);
     diag.resize(n, 1.0 + 2.0 * r);
     // Reflective end rows lose one neighbour.
@@ -380,14 +381,43 @@ fn implicit_axis(field: &mut Tensor, axis: usize, r: f32, bc_first: EndBc, bc_la
         diag[n - 1] += h;
         rhs_bump_last = h * sat;
     }
+    // Shared factorization: upper is constant −r, so build it inline.
+    let mut upper = peb_pool::PoolBuf::<f32>::cleared(n);
+    upper.resize(n, -r);
+    let mut beta = peb_pool::PoolBuf::<f32>::cleared(n);
+    let mut gamma = peb_pool::PoolBuf::<f32>::cleared(n);
+    peb_simd::thomas::factor_tridiagonal(&lower, &diag, &upper, &mut beta, &mut gamma);
     let lines = outer * inner;
     let slots = peb_par::UnsafeSlice::new(field.data_mut());
-    let (lower, diag, upper) = (&lower[..], &diag[..], &upper[..]);
-    peb_par::parallel_chunks(lines, lines.div_ceil(64), |range| {
+    let (lower, beta, gamma) = (&lower[..], &beta[..], &gamma[..]);
+    let line_cost = 10 * n as u64;
+    peb_par::parallel_chunks_cost(lines, lines.div_ceil(64), line_cost, |range| {
         let mut line = peb_pool::PoolBuf::<f32>::zeroed(n);
-        let mut gamma = peb_pool::PoolBuf::<f32>::zeroed(n);
-        for li in range {
+        let mut li = range.start;
+        while li < range.end {
             let (o, i) = (li / inner, li % inner);
+            if i + 8 <= inner && li + 8 <= range.end {
+                // Eight lines adjacent in the innermost dimension: element
+                // k of the group is the contiguous 8 floats at
+                // `(o·n + k)·inner + i` — solve in place, no staging.
+                // SAFETY: the group owns exactly those strided positions;
+                // lines are disjoint across workers.
+                unsafe {
+                    peb_simd::thomas::solve_factored_lines8(
+                        lower,
+                        beta,
+                        gamma,
+                        &slots,
+                        (o * n) * inner + i,
+                        inner,
+                        n,
+                        rhs_bump_first,
+                        rhs_bump_last,
+                    );
+                }
+                li += 8;
+                continue;
+            }
             for (k, lk) in line.iter_mut().enumerate() {
                 // SAFETY: line `li` owns exactly the strided positions
                 // `(o·n + k)·inner + i`; lines are disjoint.
@@ -395,55 +425,40 @@ fn implicit_axis(field: &mut Tensor, axis: usize, r: f32, bc_first: EndBc, bc_la
             }
             line[0] += rhs_bump_first;
             line[n - 1] += rhs_bump_last;
-            solve_tridiagonal(lower, diag, upper, &mut line, &mut gamma);
+            peb_simd::thomas::solve_factored(lower, beta, gamma, &mut line);
             for (k, lk) in line.iter().enumerate() {
                 // SAFETY: as above.
                 unsafe { *slots.get_mut((o * n + k) * inner + i) = *lk };
             }
+            li += 1;
         }
     });
 }
 
-/// Reference explicit step (all axes at once).
+/// Reference explicit step (all axes at once), one vectorized
+/// `peb_simd::stencil` slice update per z-plane. The SIMD kernel keeps
+/// the exact scalar expression order (no FMA), so results are bitwise
+/// identical to the pre-SIMD loop at every dispatch level.
 fn explicit_step(field: &mut Tensor, grid: &Grid, d_lat: f32, d_norm: f32, top_bc: EndBc, dt: f32) {
     let _span = peb_obs::span("litho.explicit_step");
     let (nz, ny, nx) = (grid.nz, grid.ny, grid.nx);
-    let (rx, ry, rz) = (
-        d_lat * dt / (grid.dx * grid.dx),
-        d_lat * dt / (grid.dy * grid.dy),
-        d_norm * dt / (grid.dz * grid.dz),
-    );
+    let p = peb_simd::stencil::StencilParams {
+        rx: d_lat * dt / (grid.dx * grid.dx),
+        ry: d_lat * dt / (grid.dy * grid.dy),
+        rz: d_norm * dt / (grid.dz * grid.dz),
+        robin_top: match top_bc {
+            // Left-assoc `h·dt/dz` matches the pre-SIMD inline expression.
+            EndBc::Robin { h, sat } => Some((h * dt / grid.dz, sat)),
+            EndBc::Neumann => None,
+        },
+    };
     let src = peb_pool::PoolBuf::copy_of(field.data());
-    let at = |z: usize, y: usize, x: usize| (z * ny + y) * nx + x;
     // Every cell reads the frozen `src` copy and writes only itself:
     // z-slices update in parallel with no ordering sensitivity.
     let slice = ny * nx;
-    peb_par::parallel_chunks_mut(field.data_mut(), slice, |offset, dst| {
+    peb_par::parallel_chunks_mut_cost(field.data_mut(), slice, 14, |offset, dst| {
         let z = offset / slice;
-        for y in 0..ny {
-            for x in 0..nx {
-                let c = src[at(z, y, x)];
-                // Zero-flux: mirror at the boundary.
-                let xm = if x == 0 { c } else { src[at(z, y, x - 1)] };
-                let xp = if x + 1 == nx { c } else { src[at(z, y, x + 1)] };
-                let ym = if y == 0 { c } else { src[at(z, y - 1, x)] };
-                let yp = if y + 1 == ny { c } else { src[at(z, y + 1, x)] };
-                let zp = if z + 1 == nz { c } else { src[at(z + 1, y, x)] };
-                let mut acc = rx * (xm + xp - 2.0 * c) + ry * (ym + yp - 2.0 * c);
-                if z == 0 {
-                    // Top surface: diffusive flux to the layer below plus
-                    // the Robin exchange term.
-                    acc += rz * (zp - c);
-                    if let EndBc::Robin { h, sat } = top_bc {
-                        acc -= h * dt / grid.dz * (c - sat);
-                    }
-                } else {
-                    let zm = src[at(z - 1, y, x)];
-                    acc += rz * (zm + zp - 2.0 * c);
-                }
-                dst[y * nx + x] = c + acc;
-            }
-        }
+        peb_simd::stencil::explicit_slice(&src, dst, z, nz, ny, nx, p);
     });
 }
 

@@ -1,5 +1,10 @@
 //! Thomas algorithm for the tridiagonal systems of the implicit diffusion
 //! sweeps.
+//!
+//! The production sweeps now factor the shared constant-coefficient
+//! matrix once per axis and solve lines through `peb_simd::thomas`;
+//! [`solve_tridiagonal`] is retained as the differential-test oracle that
+//! pins the factored path bit for bit.
 
 /// Solves a tridiagonal system `a[i]·x[i−1] + b[i]·x[i] + c[i]·x[i+1] =
 /// d[i]` in place; the solution is written into `d`.
@@ -12,6 +17,7 @@
 /// Panics in debug builds if slice lengths disagree or a pivot vanishes
 /// (cannot happen for the diagonally dominant diffusion matrices built by
 /// the PEB solver).
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn solve_tridiagonal(a: &[f32], b: &[f32], c: &[f32], d: &mut [f32], scratch: &mut [f32]) {
     let n = d.len();
     debug_assert!(a.len() == n && b.len() == n && c.len() == n && scratch.len() >= n);
@@ -80,6 +86,31 @@ mod tests {
         let mut scratch = vec![0.0; n];
         solve_tridiagonal(&a, &b, &c, &mut d, &mut scratch);
         assert_eq!(d, orig);
+    }
+
+    #[test]
+    fn factored_simd_path_matches_inline_solver_bitwise() {
+        // Pins the production path (factor once + per-line replay via
+        // peb-simd) to this in-line oracle, with the diffusion-style
+        // coefficients implicit_axis builds.
+        let r = 0.42f32;
+        for n in [2usize, 3, 6, 33] {
+            let a = vec![-r; n];
+            let c = vec![-r; n];
+            let mut b = vec![1.0 + 2.0 * r; n];
+            b[0] = 1.0 + r;
+            b[n - 1] = 1.0 + r;
+            let mut want: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+            let mut got = want.clone();
+            let mut scratch = vec![0.0; n];
+            solve_tridiagonal(&a, &b, &c, &mut want, &mut scratch);
+            let (mut beta, mut gamma) = (Vec::new(), Vec::new());
+            peb_simd::thomas::factor_tridiagonal(&a, &b, &c, &mut beta, &mut gamma);
+            peb_simd::thomas::solve_factored(&a, &beta, &gamma, &mut got);
+            for (w, g) in want.iter().zip(&got) {
+                assert_eq!(w.to_bits(), g.to_bits(), "n = {n}");
+            }
+        }
     }
 
     #[test]

@@ -119,12 +119,44 @@ fn scan_forward(
         // Channel lanes are independent: the t-recurrence runs
         // sequentially per lane while lanes fan out over the pool. Every
         // y/h_traj position belongs to exactly one lane, so the result is
-        // thread-count independent.
+        // thread-count independent. Chunks align to 8-lane groups so each
+        // worker feeds full groups to the vectorized `peb-simd` kernel;
+        // the ragged tail (ch % 8 lanes, last chunk only) keeps the
+        // scalar recurrence.
         let yslots = peb_par::UnsafeSlice::new(y.data_mut());
         let hslots = peb_par::UnsafeSlice::new(&mut h_traj);
-        peb_par::parallel_chunks(ch, ch.div_ceil(8), |lanes| {
-            let mut h = peb_pool::PoolBuf::<f32>::zeroed(n);
-            for ci in lanes {
+        let lane_cost = 12 * (l as u64) * (n as u64);
+        let group_chunk = ch.div_ceil(8).next_multiple_of(8);
+        peb_par::parallel_chunks_cost(ch, group_chunk, lane_cost, |lanes| {
+            let mut h = peb_pool::PoolBuf::<f32>::zeroed(n * 8);
+            let mut apack = peb_pool::PoolBuf::<f32>::cleared(n * 8);
+            let mut ci0 = lanes.start;
+            while ci0 + 8 <= lanes.end {
+                peb_simd::scan::pack_a_lanes8(ad, n, ci0, &mut apack);
+                h.fill(0.0);
+                // SAFETY: the group owns y columns ci0..ci0+8 and their
+                // h_traj rows; groups are disjoint (chunks are 8-aligned).
+                unsafe {
+                    peb_simd::scan::scan_forward_lanes8(
+                        ud,
+                        dd,
+                        &apack,
+                        bd,
+                        cd,
+                        &skip[ci0..],
+                        &mut h,
+                        &yslots,
+                        Some(&hslots),
+                        l,
+                        ch,
+                        n,
+                        ci0,
+                    );
+                }
+                ci0 += 8;
+            }
+            for ci in ci0..lanes.end {
+                let h = &mut h[..n];
                 h.fill(0.0);
                 for t in 0..l {
                     let dt = dd[t * ch + ci];
@@ -140,7 +172,7 @@ fn scan_forward(
                     // h_traj[(t·ch+ci)·n..] block for every t.
                     unsafe { *yslots.get_mut(t * ch + ci) = acc + skip[ci] * ut };
                     unsafe { hslots.slice_mut((t * ch + ci) * n..(t * ch + ci + 1) * n) }
-                        .copy_from_slice(&h);
+                        .copy_from_slice(h);
                 }
             }
         });
@@ -515,11 +547,44 @@ pub fn selective_scan_chunked(
         );
         let mut y = Tensor::zeros(&[l, ch]);
         // Channel lanes fan out as in `scan_forward`; the time-chunk loop
-        // (the memory-bounding structure) runs per lane.
+        // (the memory-bounding structure) runs per lane. With no stored
+        // trajectory the chunk boundaries change no operation, so full
+        // 8-lane groups run the vectorized kernel over the whole range —
+        // value-identical to the chunk-structured loop, which the ragged
+        // tail lanes keep.
         let yslots = peb_par::UnsafeSlice::new(y.data_mut());
-        peb_par::parallel_chunks(ch, ch.div_ceil(8), |lanes| {
-            let mut h = peb_pool::PoolBuf::<f32>::zeroed(n);
-            for ci in lanes.clone() {
+        let lane_cost = 12 * (l as u64) * (n as u64);
+        let group_chunk = ch.div_ceil(8).next_multiple_of(8);
+        peb_par::parallel_chunks_cost(ch, group_chunk, lane_cost, |lanes| {
+            let mut h = peb_pool::PoolBuf::<f32>::zeroed(n * 8);
+            let mut apack = peb_pool::PoolBuf::<f32>::cleared(n * 8);
+            let mut ci0 = lanes.start;
+            while ci0 + 8 <= lanes.end {
+                peb_simd::scan::pack_a_lanes8(ad.data(), n, ci0, &mut apack);
+                h.fill(0.0);
+                // SAFETY: the group owns y columns ci0..ci0+8; groups are
+                // disjoint (chunks are 8-aligned).
+                unsafe {
+                    peb_simd::scan::scan_forward_lanes8(
+                        ud.data(),
+                        dd.data(),
+                        &apack,
+                        bd.data(),
+                        cd.data(),
+                        &skip.data()[ci0..],
+                        &mut h,
+                        &yslots,
+                        None,
+                        l,
+                        ch,
+                        n,
+                        ci0,
+                    );
+                }
+                ci0 += 8;
+            }
+            for ci in ci0..lanes.end {
+                let h = &mut h[..n];
                 h.fill(0.0);
                 let mut t0 = 0usize;
                 while t0 < l {

@@ -37,7 +37,7 @@ fn im2col2(input: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> T
     // thread-local pool instead of allocating it on every forward and
     // backward pass.
     let mut out = Tensor::zeros(&[cin * kh * kw, cols]);
-    peb_par::parallel_chunks_mut(out.data_mut(), per_c, |offset, chunk| {
+    peb_par::parallel_chunks_mut_cost(out.data_mut(), per_c, 4, |offset, chunk| {
         let c = offset / per_c;
         for ky in 0..kh {
             for kx in 0..kw {
@@ -85,27 +85,32 @@ fn col2im2(
     peb_obs::count(peb_obs::Counter::Im2colBytes, 4 * cols_t.len() as u64);
     // Overlap accumulation stays sequential *within* a channel, and
     // channels scatter into disjoint `[h·w]` planes — deterministic.
-    peb_par::parallel_chunks_mut(out.data_mut(), per_c, |offset, dst| {
-        let c = offset / per_c;
-        for ky in 0..kh {
-            for kx in 0..kw {
-                let row = ((c * kh + ky) * kw + kx) * cols;
-                for oy in 0..ho {
-                    let iy = (oy * stride + ky) as isize - pad as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for ox in 0..wo {
-                        let ix = (ox * stride + kx) as isize - pad as isize;
-                        if ix < 0 || ix >= w as isize {
+    peb_par::parallel_chunks_mut_cost(
+        out.data_mut(),
+        per_c,
+        4 * (kh * kw) as u64,
+        |offset, dst| {
+            let c = offset / per_c;
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let row = ((c * kh + ky) * kw + kx) * cols;
+                    for oy in 0..ho {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        dst[iy as usize * w + ix as usize] += src[row + oy * wo + ox];
+                        for ox in 0..wo {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dst[iy as usize * w + ix as usize] += src[row + oy * wo + ox];
+                        }
                     }
                 }
             }
-        }
-    });
+        },
+    );
     out
 }
 
@@ -135,7 +140,7 @@ fn im2col3(
     let per_c = kd * kh * kw * cols;
     // Pooled patch matrix, as in `im2col2`.
     let mut out = Tensor::zeros(&[cin * kd * kh * kw, cols]);
-    peb_par::parallel_chunks_mut(out.data_mut(), per_c, |offset, chunk| {
+    peb_par::parallel_chunks_mut_cost(out.data_mut(), per_c, 4, |offset, chunk| {
         let c = offset / per_c;
         for kz in 0..kd {
             for ky in 0..kh {
@@ -196,37 +201,42 @@ fn col2im3(
     let cols = dd * hh * ww;
     let per_c = d * h * w;
     peb_obs::count(peb_obs::Counter::Im2colBytes, 4 * cols_t.len() as u64);
-    peb_par::parallel_chunks_mut(out.data_mut(), per_c, |offset, dst| {
-        let c = offset / per_c;
-        for kz in 0..kd {
-            for ky in 0..kh {
-                for kx in 0..kw {
-                    let row = (((c * kd + kz) * kh + ky) * kw + kx) * cols;
-                    let mut col = 0usize;
-                    for oz in 0..dd {
-                        let iz = (oz * stride.0 + kz) as isize - pad.0 as isize;
-                        for oy in 0..hh {
-                            let iy = (oy * stride.1 + ky) as isize - pad.1 as isize;
-                            for ox in 0..ww {
-                                let ix = (ox * stride.2 + kx) as isize - pad.2 as isize;
-                                if iz >= 0
-                                    && iz < d as isize
-                                    && iy >= 0
-                                    && iy < h as isize
-                                    && ix >= 0
-                                    && ix < w as isize
-                                {
-                                    dst[(iz as usize * h + iy as usize) * w + ix as usize] +=
-                                        src[row + col];
+    peb_par::parallel_chunks_mut_cost(
+        out.data_mut(),
+        per_c,
+        4 * (kd * kh * kw) as u64,
+        |offset, dst| {
+            let c = offset / per_c;
+            for kz in 0..kd {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let row = (((c * kd + kz) * kh + ky) * kw + kx) * cols;
+                        let mut col = 0usize;
+                        for oz in 0..dd {
+                            let iz = (oz * stride.0 + kz) as isize - pad.0 as isize;
+                            for oy in 0..hh {
+                                let iy = (oy * stride.1 + ky) as isize - pad.1 as isize;
+                                for ox in 0..ww {
+                                    let ix = (ox * stride.2 + kx) as isize - pad.2 as isize;
+                                    if iz >= 0
+                                        && iz < d as isize
+                                        && iy >= 0
+                                        && iy < h as isize
+                                        && ix >= 0
+                                        && ix < w as isize
+                                    {
+                                        dst[(iz as usize * h + iy as usize) * w + ix as usize] +=
+                                            src[row + col];
+                                    }
+                                    col += 1;
                                 }
-                                col += 1;
                             }
                         }
                     }
                 }
             }
-        }
-    });
+        },
+    );
     out
 }
 
@@ -553,39 +563,44 @@ fn dw3_forward(x: &Tensor, w: &Tensor, b: &Tensor, k: usize, p: usize) -> Tensor
     let _ = c;
     // Depthwise by definition: channel `ci` reads and writes only its own
     // plane, so channels fan out with no cross-talk.
-    peb_par::parallel_chunks_mut(out.data_mut(), per_c, |offset, od| {
-        let ci = offset / per_c;
-        let wbase = ci * k * k * k;
-        for z in 0..d {
-            for y in 0..h {
-                for xx in 0..wd {
-                    let mut acc = b.data()[ci];
-                    for kz in 0..k {
-                        let iz = z as isize + kz as isize - p as isize;
-                        if iz < 0 || iz >= d as isize {
-                            continue;
-                        }
-                        for ky in 0..k {
-                            let iy = y as isize + ky as isize - p as isize;
-                            if iy < 0 || iy >= h as isize {
+    peb_par::parallel_chunks_mut_cost(
+        out.data_mut(),
+        per_c,
+        2 * (k * k * k) as u64,
+        |offset, od| {
+            let ci = offset / per_c;
+            let wbase = ci * k * k * k;
+            for z in 0..d {
+                for y in 0..h {
+                    for xx in 0..wd {
+                        let mut acc = b.data()[ci];
+                        for kz in 0..k {
+                            let iz = z as isize + kz as isize - p as isize;
+                            if iz < 0 || iz >= d as isize {
                                 continue;
                             }
-                            for kx in 0..k {
-                                let ix = xx as isize + kx as isize - p as isize;
-                                if ix < 0 || ix >= wd as isize {
+                            for ky in 0..k {
+                                let iy = y as isize + ky as isize - p as isize;
+                                if iy < 0 || iy >= h as isize {
                                     continue;
                                 }
-                                acc += wdat[wbase + (kz * k + ky) * k + kx]
-                                    * xd[((ci * d + iz as usize) * h + iy as usize) * wd
-                                        + ix as usize];
+                                for kx in 0..k {
+                                    let ix = xx as isize + kx as isize - p as isize;
+                                    if ix < 0 || ix >= wd as isize {
+                                        continue;
+                                    }
+                                    acc += wdat[wbase + (kz * k + ky) * k + kx]
+                                        * xd[((ci * d + iz as usize) * h + iy as usize) * wd
+                                            + ix as usize];
+                                }
                             }
                         }
+                        od[(z * h + y) * wd + xx] = acc;
                     }
-                    od[(z * h + y) * wd + xx] = acc;
                 }
             }
-        }
-    });
+        },
+    );
     out
 }
 
@@ -601,76 +616,86 @@ fn dw3_backward(x: &Tensor, w: &Tensor, g: &Tensor, k: usize, p: usize) -> (Tens
     let per_c = d * h * wd;
     let _ = c;
     // dX: channel ci's gradient scatters only into its own plane.
-    peb_par::parallel_chunks_mut(dx.data_mut(), per_c, |offset, dxd| {
-        let ci = offset / per_c;
-        let wbase = ci * k * k * k;
-        for z in 0..d {
-            for y in 0..h {
-                for xx in 0..wd {
-                    let gv = gd[((ci * d + z) * h + y) * wd + xx];
-                    if gv == 0.0 {
-                        continue;
-                    }
-                    for kz in 0..k {
-                        let iz = z as isize + kz as isize - p as isize;
-                        if iz < 0 || iz >= d as isize {
+    peb_par::parallel_chunks_mut_cost(
+        dx.data_mut(),
+        per_c,
+        2 * (k * k * k) as u64,
+        |offset, dxd| {
+            let ci = offset / per_c;
+            let wbase = ci * k * k * k;
+            for z in 0..d {
+                for y in 0..h {
+                    for xx in 0..wd {
+                        let gv = gd[((ci * d + z) * h + y) * wd + xx];
+                        if gv == 0.0 {
                             continue;
                         }
-                        for ky in 0..k {
-                            let iy = y as isize + ky as isize - p as isize;
-                            if iy < 0 || iy >= h as isize {
+                        for kz in 0..k {
+                            let iz = z as isize + kz as isize - p as isize;
+                            if iz < 0 || iz >= d as isize {
                                 continue;
                             }
-                            for kx in 0..k {
-                                let ix = xx as isize + kx as isize - p as isize;
-                                if ix < 0 || ix >= wd as isize {
+                            for ky in 0..k {
+                                let iy = y as isize + ky as isize - p as isize;
+                                if iy < 0 || iy >= h as isize {
                                     continue;
                                 }
-                                dxd[(iz as usize * h + iy as usize) * wd + ix as usize] +=
-                                    gv * wdat[wbase + (kz * k + ky) * k + kx];
+                                for kx in 0..k {
+                                    let ix = xx as isize + kx as isize - p as isize;
+                                    if ix < 0 || ix >= wd as isize {
+                                        continue;
+                                    }
+                                    dxd[(iz as usize * h + iy as usize) * wd + ix as usize] +=
+                                        gv * wdat[wbase + (kz * k + ky) * k + kx];
+                                }
                             }
                         }
                     }
                 }
             }
-        }
-    });
+        },
+    );
     // dW: each channel accumulates its own k³ taps, in the sequential
     // spatial order (accumulation order is thread-count independent).
-    peb_par::parallel_chunks_mut(dw.data_mut(), k * k * k, |offset, dwd| {
-        let ci = offset / (k * k * k);
-        for z in 0..d {
-            for y in 0..h {
-                for xx in 0..wd {
-                    let gv = gd[((ci * d + z) * h + y) * wd + xx];
-                    if gv == 0.0 {
-                        continue;
-                    }
-                    for kz in 0..k {
-                        let iz = z as isize + kz as isize - p as isize;
-                        if iz < 0 || iz >= d as isize {
+    peb_par::parallel_chunks_mut_cost(
+        dw.data_mut(),
+        k * k * k,
+        2 * (d * h * wd) as u64,
+        |offset, dwd| {
+            let ci = offset / (k * k * k);
+            for z in 0..d {
+                for y in 0..h {
+                    for xx in 0..wd {
+                        let gv = gd[((ci * d + z) * h + y) * wd + xx];
+                        if gv == 0.0 {
                             continue;
                         }
-                        for ky in 0..k {
-                            let iy = y as isize + ky as isize - p as isize;
-                            if iy < 0 || iy >= h as isize {
+                        for kz in 0..k {
+                            let iz = z as isize + kz as isize - p as isize;
+                            if iz < 0 || iz >= d as isize {
                                 continue;
                             }
-                            for kx in 0..k {
-                                let ix = xx as isize + kx as isize - p as isize;
-                                if ix < 0 || ix >= wd as isize {
+                            for ky in 0..k {
+                                let iy = y as isize + ky as isize - p as isize;
+                                if iy < 0 || iy >= h as isize {
                                     continue;
                                 }
-                                dwd[(kz * k + ky) * k + kx] += gv
-                                    * xd[((ci * d + iz as usize) * h + iy as usize) * wd
-                                        + ix as usize];
+                                for kx in 0..k {
+                                    let ix = xx as isize + kx as isize - p as isize;
+                                    if ix < 0 || ix >= wd as isize {
+                                        continue;
+                                    }
+                                    dwd[(kz * k + ky) * k + kx] += gv
+                                        * xd[((ci * d + iz as usize) * h + iy as usize) * wd
+                                            + ix as usize];
+                                }
                             }
                         }
                     }
                 }
             }
-        }
-    });
+        },
+    );
     (dx, dw)
 }
 

@@ -50,26 +50,20 @@ impl Optimizer for Sgd {
         peb_obs::count(peb_obs::Counter::OptimSteps, 1);
         for p in params {
             let Some(g) = p.grad() else { continue };
-            // Update state and parameter in place (one pooled clone of the
-            // parameter instead of a temporary per arithmetic op); the
-            // per-element expressions match the tensor-op formulation bit
-            // for bit.
+            // Update state and parameter in place through the vectorized
+            // `peb-simd` kernels (one pooled clone of the parameter
+            // instead of a temporary per arithmetic op); the per-element
+            // expressions match the tensor-op formulation bit for bit.
             let mut new = p.value_clone();
             if self.momentum > 0.0 {
                 let v = self
                     .velocity
                     .entry(p.id())
                     .or_insert_with(|| Tensor::zeros(g.shape()));
-                for (vi, gi) in v.data_mut().iter_mut().zip(g.data()) {
-                    *vi = *vi * self.momentum + *gi;
-                }
-                for (ni, ui) in new.data_mut().iter_mut().zip(v.data()) {
-                    *ni -= *ui * self.lr;
-                }
+                peb_simd::optim::sgd_momentum(v.data_mut(), g.data(), self.momentum);
+                peb_simd::optim::sgd_apply(new.data_mut(), v.data(), self.lr);
             } else {
-                for (ni, ui) in new.data_mut().iter_mut().zip(g.data()) {
-                    *ni -= *ui * self.lr;
-                }
+                peb_simd::optim::sgd_apply(new.data_mut(), g.data(), self.lr);
             }
             p.set_value(new);
         }
@@ -120,32 +114,37 @@ impl Optimizer for Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t);
         for p in params {
             let Some(g) = p.grad() else { continue };
-            // Moments and the parameter update run in place (one pooled
-            // clone of the parameter instead of ~6 temporaries per step);
-            // the per-element expressions keep the exact operation order
-            // of the tensor-op formulation, so results are bit-identical.
+            // Moments and the parameter update run in place through the
+            // vectorized `peb-simd` kernels (one pooled clone of the
+            // parameter instead of ~6 temporaries per step); the
+            // per-element expressions keep the exact operation order of
+            // the tensor-op formulation, so results are bit-identical.
             let m = self
                 .m
                 .entry(p.id())
                 .or_insert_with(|| Tensor::zeros(g.shape()));
-            for (mi, gi) in m.data_mut().iter_mut().zip(g.data()) {
-                *mi = *mi * self.beta1 + *gi * (1.0 - self.beta1);
-            }
             let v = self
                 .v
                 .entry(p.id())
                 .or_insert_with(|| Tensor::zeros(g.shape()));
-            for (vi, gi) in v.data_mut().iter_mut().zip(g.data()) {
-                *vi = *vi * self.beta2 + (*gi * *gi) * (1.0 - self.beta2);
-            }
-            let (inv_bc1, inv_bc2, eps) = (1.0 / bc1, 1.0 / bc2, self.eps);
+            peb_simd::optim::adam_moments(
+                m.data_mut(),
+                v.data_mut(),
+                g.data(),
+                self.beta1,
+                self.beta2,
+            );
+            let (inv_bc1, inv_bc2) = (1.0 / bc1, 1.0 / bc2);
             let mut new = p.value_clone();
-            for ((ni, mi), vi) in new.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
-                let mhat = *mi * inv_bc1;
-                let vhat = *vi * inv_bc2;
-                let update = mhat / (vhat.sqrt() + eps);
-                *ni -= update * self.lr;
-            }
+            peb_simd::optim::adam_apply(
+                new.data_mut(),
+                m.data(),
+                v.data(),
+                inv_bc1,
+                inv_bc2,
+                self.eps,
+                self.lr,
+            );
             p.set_value(new);
         }
     }

@@ -175,9 +175,12 @@ pub enum Counter {
     /// FFT transforms served from a cached plan (twiddle tables,
     /// bit-reversal permutation, Bluestein chirp/filter spectra).
     FftPlanHits = 10,
+    /// Kernel invocations that dispatched to the SIMD (AVX2+FMA) path in
+    /// `peb-simd`; stays 0 under `PEB_SIMD=off` or on unsupported CPUs.
+    SimdDispatch = 11,
 }
 
-const N_COUNTERS: usize = 11;
+const N_COUNTERS: usize = 12;
 
 const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "gemm_flops",
@@ -191,6 +194,7 @@ const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "pool_hits",
     "pool_misses",
     "fft_plan_hits",
+    "simd_dispatch",
 ];
 
 #[allow(clippy::declare_interior_mutable_const)]

@@ -286,6 +286,37 @@ fn fixed_chunk(total: usize, chunk: usize) -> usize {
     chunk.max(1).min(total.max(1))
 }
 
+/// Minimum estimated work (items × per-item cost) below which the
+/// `*_cost` loop variants skip the pool and run their chunks inline.
+///
+/// Dispatching helpers costs a queue lock, condvar wakes, and — on
+/// oversubscribed machines — scheduler churn; for kernels doing less than
+/// ~64 k scalar operations that overhead dominates the work itself (the
+/// `BENCH_pool` micro workload regressed 40 % at `PEB_THREADS=4` from
+/// exactly this). The cutoff only changes *where* chunks run, never how
+/// the work is partitioned: the same chunks execute in ascending order on
+/// the calling thread, so results stay bitwise identical.
+pub const MIN_PARALLEL_WORK: u64 = 1 << 16;
+
+/// Whether a cost-hinted loop over `total` items at `cost_per_item`
+/// estimated scalar ops each stays below the parallel cutoff.
+pub fn below_parallel_cutoff(total: usize, cost_per_item: u64) -> bool {
+    (total as u64).saturating_mul(cost_per_item) < MIN_PARALLEL_WORK
+}
+
+/// Runs the identical chunk sequence either inline (ascending order) or
+/// over the pool. Both paths visit every chunk exactly once with the same
+/// boundaries.
+fn run_maybe_parallel(nchunks: usize, sequential: bool, task: &(dyn Fn(usize) + Sync)) {
+    if sequential {
+        for i in 0..nchunks {
+            task(i);
+        }
+    } else {
+        run_parallel(nchunks, task);
+    }
+}
+
 /// Number of chunks for `total` items at `chunk` granularity.
 fn chunk_count(total: usize, chunk: usize) -> usize {
     total.div_ceil(fixed_chunk(total, chunk))
@@ -298,11 +329,28 @@ fn chunk_count(total: usize, chunk: usize) -> usize {
 /// under that contract the result is bitwise identical at any thread
 /// count.
 pub fn parallel_chunks(total: usize, chunk: usize, f: impl Fn(Range<usize>) + Sync) {
+    chunks_impl(total, chunk, false, f)
+}
+
+/// [`parallel_chunks`] with a per-item cost hint (estimated scalar ops per
+/// item): loops whose total work falls below [`MIN_PARALLEL_WORK`] run
+/// their chunks inline in ascending order — same boundaries, same bits,
+/// no pool overhead.
+pub fn parallel_chunks_cost(
+    total: usize,
+    chunk: usize,
+    cost_per_item: u64,
+    f: impl Fn(Range<usize>) + Sync,
+) {
+    chunks_impl(total, chunk, below_parallel_cutoff(total, cost_per_item), f)
+}
+
+fn chunks_impl(total: usize, chunk: usize, sequential: bool, f: impl Fn(Range<usize>) + Sync) {
     if total == 0 {
         return;
     }
     let c = fixed_chunk(total, chunk);
-    run_parallel(chunk_count(total, chunk), &|i| {
+    run_maybe_parallel(chunk_count(total, chunk), sequential, &|i| {
         let start = i * c;
         f(start..(start + c).min(total));
     });
@@ -326,6 +374,26 @@ pub fn parallel_chunks_collect<T: Send>(
     chunk: usize,
     f: impl Fn(Range<usize>) -> T + Sync,
 ) -> Vec<T> {
+    chunks_collect_impl(total, chunk, false, f)
+}
+
+/// [`parallel_chunks_collect`] with a per-item cost hint; see
+/// [`parallel_chunks_cost`].
+pub fn parallel_chunks_collect_cost<T: Send>(
+    total: usize,
+    chunk: usize,
+    cost_per_item: u64,
+    f: impl Fn(Range<usize>) -> T + Sync,
+) -> Vec<T> {
+    chunks_collect_impl(total, chunk, below_parallel_cutoff(total, cost_per_item), f)
+}
+
+fn chunks_collect_impl<T: Send>(
+    total: usize,
+    chunk: usize,
+    sequential: bool,
+    f: impl Fn(Range<usize>) -> T + Sync,
+) -> Vec<T> {
     if total == 0 {
         return Vec::new();
     }
@@ -335,7 +403,7 @@ pub fn parallel_chunks_collect<T: Send>(
     out.resize_with(n, || None);
     {
         let slots = UnsafeSlice::new(&mut out);
-        run_parallel(n, &|i| {
+        run_maybe_parallel(n, sequential, &|i| {
             let start = i * c;
             let value = f(start..(start + c).min(total));
             // SAFETY: each chunk index writes exactly its own slot.
@@ -354,13 +422,34 @@ pub fn parallel_chunks_mut<T: Send>(
     chunk: usize,
     f: impl Fn(usize, &mut [T]) + Sync,
 ) {
+    chunks_mut_impl(data, chunk, false, f)
+}
+
+/// [`parallel_chunks_mut`] with a per-item cost hint; see
+/// [`parallel_chunks_cost`].
+pub fn parallel_chunks_mut_cost<T: Send>(
+    data: &mut [T],
+    chunk: usize,
+    cost_per_item: u64,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let sequential = below_parallel_cutoff(data.len(), cost_per_item);
+    chunks_mut_impl(data, chunk, sequential, f)
+}
+
+fn chunks_mut_impl<T: Send>(
+    data: &mut [T],
+    chunk: usize,
+    sequential: bool,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
     let total = data.len();
     if total == 0 {
         return;
     }
     let c = fixed_chunk(total, chunk);
     let slice = UnsafeSlice::new(data);
-    run_parallel(chunk_count(total, c), &|i| {
+    run_maybe_parallel(chunk_count(total, c), sequential, &|i| {
         let start = i * c;
         let end = (start + c).min(total);
         // SAFETY: chunk i covers exactly data[start..end]; chunks are
@@ -569,5 +658,68 @@ mod tests {
         parallel_chunks(0, 8, |_| panic!("must not run"));
         parallel_chunks_mut(&mut [] as &mut [u8], 8, |_, _| panic!("must not run"));
         assert!(parallel_chunks_collect(0, 8, |_| 1).is_empty());
+    }
+
+    #[test]
+    fn cost_cutoff_keeps_chunk_boundaries_and_coverage() {
+        // Below the cutoff (sequential) and far above it (parallel), the
+        // chunk boundaries handed to the closure must be identical.
+        for cost in [1u64, u64::MAX / 2] {
+            let total = 100usize;
+            let seen = Mutex::new(Vec::new());
+            with_thread_count(3, || {
+                parallel_chunks_cost(total, 32, cost, |r| {
+                    seen.lock().unwrap().push((r.start, r.end));
+                });
+            });
+            let mut got = seen.into_inner().unwrap();
+            got.sort_unstable();
+            assert_eq!(
+                got,
+                vec![(0, 32), (32, 64), (64, 96), (96, 100)],
+                "cost={cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_cutoff_runs_small_loops_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        with_thread_count(4, || {
+            parallel_chunks_cost(64, 8, 1, |_| {
+                assert_eq!(std::thread::current().id(), caller);
+            });
+            parallel_chunks_mut_cost(&mut [0u8; 64], 8, 1, |_, _| {
+                assert_eq!(std::thread::current().id(), caller);
+            });
+            parallel_chunks_collect_cost(64, 8, 1, |_| {
+                assert_eq!(std::thread::current().id(), caller);
+            });
+        });
+    }
+
+    #[test]
+    fn cost_variants_match_plain_variants_exactly() {
+        let total = 513usize;
+        for cost in [1u64, 1 << 20] {
+            let mut plain = vec![0f32; total];
+            let mut hinted = vec![0f32; total];
+            with_thread_count(4, || {
+                parallel_chunks_mut(&mut plain, 64, |off, sub| {
+                    for (i, v) in sub.iter_mut().enumerate() {
+                        *v = ((off + i) as f32).sqrt();
+                    }
+                });
+                parallel_chunks_mut_cost(&mut hinted, 64, cost, |off, sub| {
+                    for (i, v) in sub.iter_mut().enumerate() {
+                        *v = ((off + i) as f32).sqrt();
+                    }
+                });
+            });
+            assert_eq!(plain, hinted, "cost={cost}");
+            let a = parallel_chunks_collect(total, 100, |r| r.len());
+            let b = parallel_chunks_collect_cost(total, 100, cost, |r| r.len());
+            assert_eq!(a, b, "cost={cost}");
+        }
     }
 }

@@ -1,0 +1,473 @@
+//! `peb-simd`: runtime-dispatched SIMD microkernels for the workspace hot
+//! paths.
+//!
+//! Every kernel in this crate exists twice behind one entry point: an
+//! AVX2+FMA path built on 8-lane `f32` vectors (`std::arch` intrinsics)
+//! and a portable scalar path that processes the same 8-lane groups with
+//! plain `f32` arithmetic. The path is chosen **once per process** by
+//! [`level`]:
+//!
+//! * `PEB_SIMD=off` (or `0` / `scalar`) forces the scalar path — the
+//!   escape hatch mirroring `PEB_POOL` / `PEB_THREADS`;
+//! * otherwise AVX2+FMA is used when `is_x86_feature_detected!` reports
+//!   both features, and the scalar path everywhere else (including
+//!   non-x86_64 targets).
+//!
+//! # Determinism contract
+//!
+//! For a **fixed dispatch level** every kernel is a pure function of its
+//! inputs: results are bitwise identical across runs, across
+//! `PEB_THREADS` settings, and across how callers group work into 8-lane
+//! batches. Two classes of kernel relate to the scalar reference
+//! differently:
+//!
+//! * **Bit-exact kernels** (tridiagonal line solves, the explicit
+//!   diffusion stencil, elementwise add/sub/mul/div, SGD/Adam updates)
+//!   use only IEEE-exact lane operations (`+ − × ÷ √`) in exactly the
+//!   per-element expression order of the scalar code, so the SIMD path
+//!   reproduces the scalar path **to the bit**.
+//! * **Tolerance kernels** (GEMM, which fuses multiply–add, and the
+//!   selective-scan recurrence, which uses the polynomial [`Simd8::exp`]
+//!   instead of libm) differ from scalar by bounded ULPs; the property
+//!   suite in `tests/` pins those bounds.
+//!
+//! The `simd_dispatch` counter in `peb-obs` ticks once per kernel call
+//! that takes the vector path.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub mod elementwise;
+pub mod gemm;
+pub mod optim;
+pub mod scan;
+pub mod stencil;
+pub mod thomas;
+
+// ---------------------------------------------------------------------------
+// Dispatch level
+// ---------------------------------------------------------------------------
+
+/// Instruction-set level a kernel dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Level {
+    /// Portable scalar arithmetic (also the `PEB_SIMD=off` escape hatch).
+    Scalar = 0,
+    /// 8-lane AVX2 vectors with fused multiply–add.
+    Avx2Fma = 1,
+}
+
+impl Level {
+    /// Stable name used in benchmark JSON and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Scalar => "scalar",
+            Level::Avx2Fma => "avx2+fma",
+        }
+    }
+}
+
+const LEVEL_UNINIT: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNINIT);
+
+/// Whether this CPU supports the AVX2+FMA path (independent of
+/// `PEB_SIMD`).
+pub fn detected() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The best level this hardware supports.
+pub fn best_level() -> Level {
+    if detected() {
+        Level::Avx2Fma
+    } else {
+        Level::Scalar
+    }
+}
+
+#[cold]
+fn init_level() -> Level {
+    let l = match std::env::var("PEB_SIMD").as_deref() {
+        Ok("off") | Ok("0") | Ok("scalar") => Level::Scalar,
+        _ => best_level(),
+    };
+    LEVEL.store(l as u8, Ordering::Relaxed);
+    l
+}
+
+/// Current dispatch level, latched from `PEB_SIMD` + CPU detection on
+/// first call.
+#[inline]
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Scalar,
+        1 => Level::Avx2Fma,
+        _ => init_level(),
+    }
+}
+
+/// Whether kernels currently take the vector path.
+#[inline]
+pub fn simd_active() -> bool {
+    level() == Level::Avx2Fma
+}
+
+/// Overrides the latched dispatch level, bypassing `PEB_SIMD`. Used by
+/// benchmark binaries and the determinism suite for A/B runs; callers
+/// that toggle this in tests must serialise themselves (the level is
+/// process-global).
+///
+/// # Panics
+///
+/// Panics when asked for [`Level::Avx2Fma`] on hardware without AVX2+FMA.
+pub fn set_level(l: Level) {
+    assert!(
+        l != Level::Avx2Fma || detected(),
+        "peb-simd: AVX2+FMA requested but not supported by this CPU"
+    );
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Ticks the `simd_dispatch` counter; called by every kernel entry that
+/// takes the vector path.
+#[inline]
+pub(crate) fn note_dispatch() {
+    peb_obs::count(peb_obs::Counter::SimdDispatch, 1);
+}
+
+// ---------------------------------------------------------------------------
+// ULP helper (shared by the property tests and benches)
+// ---------------------------------------------------------------------------
+
+/// Distance between two finite floats in units in the last place.
+///
+/// Maps each float onto the monotonic integer line (sign-magnitude →
+/// two's-complement) and returns the absolute difference, saturating at
+/// `u32::MAX` for NaN operands.
+pub fn ulp_diff(a: f32, b: f32) -> u32 {
+    if a.is_nan() || b.is_nan() {
+        return u32::MAX;
+    }
+    fn key(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        // Fold negative floats below zero on the integer line.
+        if bits < 0 {
+            (i32::MIN as i64) - (bits as i64)
+        } else {
+            bits as i64
+        }
+    }
+    (key(a) - key(b)).unsigned_abs().min(u32::MAX as u64) as u32
+}
+
+// ---------------------------------------------------------------------------
+// The 8-lane abstraction
+// ---------------------------------------------------------------------------
+
+/// Eight `f32` lanes with the operations the workspace kernels need.
+///
+/// Implemented by [`ScalarX8`] (portable, libm `exp`, unfused
+/// `mul_add`) and — on x86_64 — [`AvxX8`] (AVX2 vectors, fused
+/// `mul_add`, polynomial `exp`). Generic kernels written against this
+/// trait are instantiated once per backend; the AVX instantiation is
+/// only ever reached through `#[target_feature(enable = "avx2,fma")]`
+/// wrappers after runtime detection.
+pub trait Simd8: Copy {
+    /// All lanes set to `v`.
+    fn splat(v: f32) -> Self;
+    /// All lanes zero.
+    #[inline(always)]
+    fn zero() -> Self {
+        Self::splat(0.0)
+    }
+    /// Loads lanes from `src[0..8]`.
+    fn load(src: &[f32]) -> Self;
+    /// Stores lanes into `dst[0..8]`.
+    fn store(self, dst: &mut [f32]);
+    /// Lanewise `self + rhs`.
+    fn add(self, rhs: Self) -> Self;
+    /// Lanewise `self − rhs`.
+    fn sub(self, rhs: Self) -> Self;
+    /// Lanewise `self × rhs`.
+    fn mul(self, rhs: Self) -> Self;
+    /// Lanewise `self ÷ rhs`.
+    fn div(self, rhs: Self) -> Self;
+    /// Lanewise IEEE square root.
+    fn sqrt(self) -> Self;
+    /// Lanewise `self × m + a`; fused on the AVX backend, two rounded
+    /// operations on the scalar backend.
+    fn mul_add(self, m: Self, a: Self) -> Self;
+    /// Lanewise natural exponential. Scalar backend: libm; AVX backend:
+    /// Cephes-style polynomial, within a few ULP of libm.
+    fn exp(self) -> Self;
+    /// Lanewise `if self >= 0 { if_nonneg } else { if_neg }`.
+    fn select_nonneg(self, if_nonneg: Self, if_neg: Self) -> Self;
+    /// Lanes as an array (lane order 0..8 = memory order).
+    fn to_array(self) -> [f32; 8];
+    /// Builds lanes from an array.
+    fn from_array(a: [f32; 8]) -> Self;
+}
+
+/// Portable scalar backend: 8 plain `f32` lanes.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarX8([f32; 8]);
+
+impl Simd8 for ScalarX8 {
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        ScalarX8([v; 8])
+    }
+    #[inline(always)]
+    fn load(src: &[f32]) -> Self {
+        let mut a = [0f32; 8];
+        a.copy_from_slice(&src[..8]);
+        ScalarX8(a)
+    }
+    #[inline(always)]
+    fn store(self, dst: &mut [f32]) {
+        dst[..8].copy_from_slice(&self.0);
+    }
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        ScalarX8(std::array::from_fn(|i| self.0[i] + rhs.0[i]))
+    }
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        ScalarX8(std::array::from_fn(|i| self.0[i] - rhs.0[i]))
+    }
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        ScalarX8(std::array::from_fn(|i| self.0[i] * rhs.0[i]))
+    }
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        ScalarX8(std::array::from_fn(|i| self.0[i] / rhs.0[i]))
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        ScalarX8(std::array::from_fn(|i| self.0[i].sqrt()))
+    }
+    #[inline(always)]
+    fn mul_add(self, m: Self, a: Self) -> Self {
+        // Deliberately unfused: the scalar backend reproduces plain
+        // `x*m + a` f32 arithmetic bit for bit.
+        ScalarX8(std::array::from_fn(|i| self.0[i] * m.0[i] + a.0[i]))
+    }
+    #[inline(always)]
+    fn exp(self) -> Self {
+        ScalarX8(std::array::from_fn(|i| self.0[i].exp()))
+    }
+    #[inline(always)]
+    fn select_nonneg(self, if_nonneg: Self, if_neg: Self) -> Self {
+        ScalarX8(std::array::from_fn(|i| {
+            if self.0[i] >= 0.0 {
+                if_nonneg.0[i]
+            } else {
+                if_neg.0[i]
+            }
+        }))
+    }
+    #[inline(always)]
+    fn to_array(self) -> [f32; 8] {
+        self.0
+    }
+    #[inline(always)]
+    fn from_array(a: [f32; 8]) -> Self {
+        ScalarX8(a)
+    }
+}
+
+/// AVX2+FMA backend.
+///
+/// # Soundness
+///
+/// Constructing and operating on `AvxX8` executes AVX instructions, so
+/// every use must be dominated by a successful [`detected`] check. All
+/// in-crate uses sit behind `#[target_feature(enable = "avx2,fma")]`
+/// dispatch wrappers that are only entered when [`simd_active`] (or an
+/// explicit caller-side `detected()` check) holds.
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy)]
+pub struct AvxX8(std::arch::x86_64::__m256);
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::{AvxX8, Simd8};
+    use std::arch::x86_64::*;
+
+    impl Simd8 for AvxX8 {
+        #[inline(always)]
+        fn splat(v: f32) -> Self {
+            AvxX8(unsafe { _mm256_set1_ps(v) })
+        }
+        #[inline(always)]
+        fn load(src: &[f32]) -> Self {
+            debug_assert!(src.len() >= 8);
+            AvxX8(unsafe { _mm256_loadu_ps(src.as_ptr()) })
+        }
+        #[inline(always)]
+        fn store(self, dst: &mut [f32]) {
+            debug_assert!(dst.len() >= 8);
+            unsafe { _mm256_storeu_ps(dst.as_mut_ptr(), self.0) }
+        }
+        #[inline(always)]
+        fn add(self, rhs: Self) -> Self {
+            AvxX8(unsafe { _mm256_add_ps(self.0, rhs.0) })
+        }
+        #[inline(always)]
+        fn sub(self, rhs: Self) -> Self {
+            AvxX8(unsafe { _mm256_sub_ps(self.0, rhs.0) })
+        }
+        #[inline(always)]
+        fn mul(self, rhs: Self) -> Self {
+            AvxX8(unsafe { _mm256_mul_ps(self.0, rhs.0) })
+        }
+        #[inline(always)]
+        fn div(self, rhs: Self) -> Self {
+            AvxX8(unsafe { _mm256_div_ps(self.0, rhs.0) })
+        }
+        #[inline(always)]
+        fn sqrt(self) -> Self {
+            AvxX8(unsafe { _mm256_sqrt_ps(self.0) })
+        }
+        #[inline(always)]
+        fn mul_add(self, m: Self, a: Self) -> Self {
+            AvxX8(unsafe { _mm256_fmadd_ps(self.0, m.0, a.0) })
+        }
+        #[inline(always)]
+        fn exp(self) -> Self {
+            exp256(self)
+        }
+        #[inline(always)]
+        fn select_nonneg(self, if_nonneg: Self, if_neg: Self) -> Self {
+            // blendv picks the second operand where the mask sign bit is
+            // set, i.e. where `self < 0`.
+            AvxX8(unsafe { _mm256_blendv_ps(if_nonneg.0, if_neg.0, self.0) })
+        }
+        #[inline(always)]
+        fn to_array(self) -> [f32; 8] {
+            let mut a = [0f32; 8];
+            unsafe { _mm256_storeu_ps(a.as_mut_ptr(), self.0) };
+            a
+        }
+        #[inline(always)]
+        fn from_array(a: [f32; 8]) -> Self {
+            AvxX8(unsafe { _mm256_loadu_ps(a.as_ptr()) })
+        }
+    }
+
+    /// Cephes-style `exp` on 8 lanes (cf. `avx_mathfun`): range-reduce by
+    /// `ln 2` with a two-constant Cody–Waite split, degree-5 polynomial,
+    /// exponent reconstruction through the IEEE bit pattern. Within a few
+    /// ULP of libm over the finite range; inputs are clamped to
+    /// `±88.376`, so overflow saturates and underflow flushes to 0.
+    #[inline(always)]
+    fn exp256(x: AvxX8) -> AvxX8 {
+        const EXP_HI: f32 = 88.376_26;
+        const EXP_LO: f32 = -88.376_26;
+        const LOG2EF: f32 = std::f32::consts::LOG2_E;
+        const C1: f32 = 0.693_359_4; // ln2 high part
+        const C2: f32 = -2.121_944_4e-4; // ln2 low part
+        const P0: f32 = 1.987_569_1e-4;
+        const P1: f32 = 1.398_199_9e-3;
+        const P2: f32 = 8.333_452e-3;
+        const P3: f32 = 4.166_579_6e-2;
+        const P4: f32 = 1.666_666_5e-1;
+        const P5: f32 = 5.000_000_3e-1;
+        unsafe {
+            let x = _mm256_min_ps(x.0, _mm256_set1_ps(EXP_HI));
+            let x = _mm256_max_ps(x, _mm256_set1_ps(EXP_LO));
+            // n = round-to-floor(x / ln2 + 1/2)
+            let fx = _mm256_fmadd_ps(x, _mm256_set1_ps(LOG2EF), _mm256_set1_ps(0.5));
+            let fx = _mm256_floor_ps(fx);
+            // r = x − n·ln2, split into high/low parts for accuracy.
+            let x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(C1), x);
+            let x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(C2), x);
+            // Polynomial for exp(r) on r ∈ [−ln2/2, ln2/2].
+            let z = _mm256_mul_ps(x, x);
+            let mut y = _mm256_set1_ps(P0);
+            y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(P1));
+            y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(P2));
+            y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(P3));
+            y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(P4));
+            y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(P5));
+            y = _mm256_fmadd_ps(y, z, x);
+            y = _mm256_add_ps(y, _mm256_set1_ps(1.0));
+            // 2^n through the exponent field.
+            let n = _mm256_cvttps_epi32(fx);
+            let n = _mm256_add_epi32(n, _mm256_set1_epi32(0x7f));
+            let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32(n, 23));
+            AvxX8(_mm256_mul_ps(y, pow2n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_latches_and_overrides() {
+        let initial = level();
+        assert_eq!(level(), initial, "level must latch");
+        set_level(Level::Scalar);
+        assert_eq!(level(), Level::Scalar);
+        set_level(best_level());
+        assert_eq!(level(), best_level());
+    }
+
+    #[test]
+    fn ulp_diff_basics() {
+        assert_eq!(ulp_diff(1.0, 1.0), 0);
+        assert_eq!(ulp_diff(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(ulp_diff(-0.0, 0.0), 0);
+        assert!(ulp_diff(1.0, -1.0) > 1_000_000);
+        assert_eq!(ulp_diff(f32::NAN, 1.0), u32::MAX);
+    }
+
+    #[test]
+    fn scalar_lane_ops_match_plain_f32() {
+        let a = ScalarX8::from_array([1.0, -2.0, 0.5, 3.0, -0.25, 8.0, 1e-3, -7.5]);
+        let b = ScalarX8::splat(3.0);
+        let sum = a.add(b).to_array();
+        let prod = a.mul(b).to_array();
+        let fma = a.mul_add(b, b).to_array();
+        for (i, x) in a.to_array().iter().enumerate() {
+            assert_eq!(sum[i].to_bits(), (x + 3.0).to_bits());
+            assert_eq!(prod[i].to_bits(), (x * 3.0).to_bits());
+            assert_eq!(fma[i].to_bits(), (x * 3.0 + 3.0).to_bits());
+        }
+        let sel = a.select_nonneg(ScalarX8::splat(1.0), ScalarX8::splat(-1.0));
+        assert_eq!(sel.to_array(), [1.0, -1.0, 1.0, 1.0, -1.0, 1.0, 1.0, -1.0]);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx_exp_tracks_libm_within_ulps() {
+        if !detected() {
+            return;
+        }
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn run(xs: &[f32; 8]) -> [f32; 8] {
+            AvxX8::from_array(*xs).exp().to_array()
+        }
+        let xs = [-30.0f32, -3.25, -0.5, 0.0, 1e-4, 0.5, 3.25, 30.0];
+        // SAFETY: guarded by detected().
+        let got = unsafe { run(&xs) };
+        for (x, g) in xs.iter().zip(got) {
+            let want = x.exp();
+            assert!(
+                ulp_diff(g, want) <= 16,
+                "exp({x}): {g} vs libm {want} ({} ulp)",
+                ulp_diff(g, want)
+            );
+        }
+    }
+}

@@ -3,10 +3,35 @@
 //! Broadcasting variants return [`crate::Result`]; the `std::ops`
 //! implementations panic on incompatible shapes for ergonomic use in the
 //! physics code where shapes are statically known.
+//!
+//! Same-shape binary ops and the dense unary ops route through the
+//! runtime-dispatched `peb-simd` kernels; only genuinely broadcasting
+//! calls take the strided scalar walk. The SIMD `+ − × ÷ √` and scalar
+//! ops are bitwise identical to the plain expressions; `exp`/`sigmoid`
+//! use the polynomial vector exponential (bounded-ULP, deterministic per
+//! dispatch level).
 
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 use crate::{Result, Tensor};
+
+/// Runs a same-shape binary `peb-simd` kernel into a pooled output.
+fn zip_kernel(a: &Tensor, b: &Tensor, kernel: fn(&[f32], &[f32], &mut [f32])) -> Tensor {
+    let n = a.data().len();
+    let mut data = crate::tensor::alloc_cleared(n);
+    data.resize(n, 0.0);
+    kernel(a.data(), b.data(), &mut data);
+    Tensor::from_pooled(data, a.shape())
+}
+
+/// Runs a unary `peb-simd` kernel into a pooled output.
+fn map_kernel(a: &Tensor, kernel: impl FnOnce(&[f32], &mut [f32])) -> Tensor {
+    let n = a.data().len();
+    let mut data = crate::tensor::alloc_cleared(n);
+    data.resize(n, 0.0);
+    kernel(a.data(), &mut data);
+    Tensor::from_pooled(data, a.shape())
+}
 
 impl Tensor {
     /// Broadcasting addition.
@@ -15,6 +40,9 @@ impl Tensor {
     ///
     /// Returns a shape error when operands do not broadcast.
     pub fn add_t(&self, other: &Self) -> Result<Self> {
+        if self.shape() == other.shape() {
+            return Ok(zip_kernel(self, other, peb_simd::elementwise::vadd));
+        }
         self.broadcast_zip(other, |a, b| a + b)
     }
 
@@ -24,6 +52,9 @@ impl Tensor {
     ///
     /// Returns a shape error when operands do not broadcast.
     pub fn sub_t(&self, other: &Self) -> Result<Self> {
+        if self.shape() == other.shape() {
+            return Ok(zip_kernel(self, other, peb_simd::elementwise::vsub));
+        }
         self.broadcast_zip(other, |a, b| a - b)
     }
 
@@ -33,6 +64,9 @@ impl Tensor {
     ///
     /// Returns a shape error when operands do not broadcast.
     pub fn mul_t(&self, other: &Self) -> Result<Self> {
+        if self.shape() == other.shape() {
+            return Ok(zip_kernel(self, other, peb_simd::elementwise::vmul));
+        }
         self.broadcast_zip(other, |a, b| a * b)
     }
 
@@ -42,22 +76,25 @@ impl Tensor {
     ///
     /// Returns a shape error when operands do not broadcast.
     pub fn div_t(&self, other: &Self) -> Result<Self> {
+        if self.shape() == other.shape() {
+            return Ok(zip_kernel(self, other, peb_simd::elementwise::vdiv));
+        }
         self.broadcast_zip(other, |a, b| a / b)
     }
 
     /// Adds a scalar to every element.
     pub fn add_scalar(&self, s: f32) -> Self {
-        self.map(|x| x + s)
+        map_kernel(self, |x, out| peb_simd::elementwise::vadd_scalar(x, s, out))
     }
 
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&self, s: f32) -> Self {
-        self.map(|x| x * s)
+        map_kernel(self, |x, out| peb_simd::elementwise::vmul_scalar(x, s, out))
     }
 
     /// Elementwise natural exponential.
     pub fn exp(&self) -> Self {
-        self.map(f32::exp)
+        map_kernel(self, peb_simd::elementwise::vexp)
     }
 
     /// Elementwise natural logarithm.
@@ -72,7 +109,7 @@ impl Tensor {
 
     /// Elementwise square root.
     pub fn sqrt_t(&self) -> Self {
-        self.map(f32::sqrt)
+        map_kernel(self, peb_simd::elementwise::vsqrt)
     }
 
     /// Elementwise power with a scalar exponent.
@@ -87,7 +124,7 @@ impl Tensor {
 
     /// Logistic sigmoid, numerically stable on both tails.
     pub fn sigmoid(&self) -> Self {
-        self.map(stable_sigmoid)
+        map_kernel(self, peb_simd::elementwise::vsigmoid)
     }
 }
 

@@ -6,9 +6,9 @@ use crate::{Result, Tensor, TensorError};
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
     ///
-    /// Runs the cache-blocked kernel from [`crate::kernels`] with row
+    /// Runs the packed `peb-simd` register-tile microkernel with row
     /// panels spread over the `peb-par` pool; bitwise identical at any
-    /// `PEB_THREADS`.
+    /// `PEB_THREADS` for a fixed SIMD dispatch level.
     ///
     /// # Errors
     ///
@@ -55,7 +55,7 @@ impl Tensor {
         // Batches are independent; when there is only one, run_parallel
         // falls through without entering a parallel region, so the inner
         // GEMM still parallelises over its row panels.
-        peb_par::parallel_chunks_mut(out.data_mut(), m * n, |offset, chunk| {
+        peb_par::parallel_chunks_mut_cost(out.data_mut(), m * n, 2 * k as u64, |offset, chunk| {
             let bi = offset / (m * n);
             matmul_into(
                 &self.data()[bi * m * k..(bi + 1) * m * k],

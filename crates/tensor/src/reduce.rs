@@ -6,9 +6,11 @@
 use crate::{Result, Tensor, TensorError};
 
 impl Tensor {
-    /// Sum of all elements.
+    /// Sum of all elements, accumulated in `f64` (vectorized into eight
+    /// fixed-order `f64` partials on the SIMD path — deterministic per
+    /// dispatch level).
     pub fn sum(&self) -> f32 {
-        self.data().iter().map(|&x| x as f64).sum::<f64>() as f32
+        peb_simd::elementwise::vsum_f64(self.data()) as f32
     }
 
     /// Mean of all elements (0 for an empty tensor).
