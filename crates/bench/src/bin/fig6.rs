@@ -5,15 +5,16 @@
 
 use peb_bench::prepare_dataset;
 use peb_data::{value_histogram, ExperimentScale, HISTOGRAM_BIN_LABELS};
+use peb_guard::PebError;
 
 fn bar(frac: f64, width: usize) -> String {
     let n = (frac * width as f64).round() as usize;
     "#".repeat(n.min(width))
 }
 
-fn main() {
+fn main() -> Result<(), PebError> {
     let scale = ExperimentScale::from_env();
-    let dataset = prepare_dataset(scale);
+    let dataset = prepare_dataset(scale)?;
 
     let acid_hist = value_histogram(dataset.train.iter().map(|s| &s.acid0));
     let inhibitor_hist = value_histogram(dataset.train.iter().map(|s| &s.inhibitor));
@@ -48,4 +49,5 @@ fn main() {
     );
 
     peb_bench::emit_profile("fig6");
+    Ok(())
 }

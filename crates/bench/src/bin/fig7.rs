@@ -4,15 +4,16 @@
 
 use peb_bench::{evaluate_model, prepare_dataset, prepare_flow, train_models, ModelKind};
 use peb_data::ExperimentScale;
+use peb_guard::PebError;
 use sdm_peb::CD_BUCKET_LABELS;
 
-fn main() {
+fn main() -> Result<(), PebError> {
     let scale = ExperimentScale::from_env();
     eprintln!("[fig7] scale = {}", scale.name());
-    let dataset = prepare_dataset(scale);
+    let dataset = prepare_dataset(scale)?;
     let flow = prepare_flow(scale);
 
-    let trained = train_models(&ModelKind::TABLE2, &dataset, scale.epochs());
+    let trained = train_models(&ModelKind::TABLE2, &dataset, scale.epochs())?;
     let rows: Vec<_> = trained
         .iter()
         .map(|t| evaluate_model(t.model.as_ref(), &dataset, &flow))
@@ -55,4 +56,5 @@ fn main() {
     );
 
     peb_bench::emit_profile("fig7");
+    Ok(())
 }

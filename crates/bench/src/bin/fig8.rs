@@ -8,6 +8,7 @@ use std::path::PathBuf;
 use peb_bench::viz::write_pgm;
 use peb_bench::{prepare_dataset, prepare_flow, train_models, ModelKind};
 use peb_data::ExperimentScale;
+use peb_guard::{Context, PebError};
 use peb_tensor::Tensor;
 
 fn plane(volume: &Tensor, layer: usize) -> Tensor {
@@ -19,12 +20,12 @@ fn plane(volume: &Tensor, layer: usize) -> Tensor {
         .expect("plane reshape")
 }
 
-fn main() {
+fn main() -> Result<(), PebError> {
     let scale = ExperimentScale::from_env();
     eprintln!("[fig8] scale = {}", scale.name());
-    let dataset = prepare_dataset(scale);
+    let dataset = prepare_dataset(scale)?;
     let flow = prepare_flow(scale);
-    let trained = train_models(&[ModelKind::SdmPeb], &dataset, scale.epochs());
+    let trained = train_models(&[ModelKind::SdmPeb], &dataset, scale.epochs())?;
     let model = &trained[0].model;
 
     let sample = &dataset.test[0];
@@ -34,7 +35,7 @@ fn main() {
     let nz = dataset.grid.nz;
 
     let out = PathBuf::from("target/figures");
-    std::fs::create_dir_all(&out).expect("figures dir");
+    std::fs::create_dir_all(&out).ctx("creating figures dir")?;
 
     println!("== Fig. 8: top-down ground truth / prediction / difference ==");
     for (surface, layer) in [("top", 0usize), ("bottom", nz - 1)] {
@@ -47,15 +48,16 @@ fn main() {
             1.0,
             &out.join(format!("fig8_{surface}_truth.pgm")),
         )
-        .expect("pgm");
-        write_pgm(&pr, 0.0, 1.0, &out.join(format!("fig8_{surface}_pred.pgm"))).expect("pgm");
+        .ctx("writing pgm")?;
+        write_pgm(&pr, 0.0, 1.0, &out.join(format!("fig8_{surface}_pred.pgm")))
+            .ctx("writing pgm")?;
         write_pgm(
             &diff,
             -0.1,
             0.1,
             &out.join(format!("fig8_{surface}_diff.pgm")),
         )
-        .expect("pgm");
+        .ctx("writing pgm")?;
         let max_abs = diff.abs_t().max_value();
         let within =
             diff.data().iter().filter(|v| v.abs() <= 0.1).count() as f32 / diff.len() as f32;
@@ -68,4 +70,5 @@ fn main() {
     println!("[fig8] wrote target/figures/fig8_*.pgm (truth / pred / diff × top / bottom)");
 
     peb_bench::emit_profile("fig8");
+    Ok(())
 }

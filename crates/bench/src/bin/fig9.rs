@@ -7,13 +7,14 @@ use std::path::PathBuf;
 use peb_bench::viz::{ascii_heatmap, vertical_section, write_pgm};
 use peb_bench::{prepare_dataset, prepare_flow, train_models, ModelKind};
 use peb_data::ExperimentScale;
+use peb_guard::{Context, PebError};
 
-fn main() {
+fn main() -> Result<(), PebError> {
     let scale = ExperimentScale::from_env();
     eprintln!("[fig9] scale = {}", scale.name());
-    let dataset = prepare_dataset(scale);
+    let dataset = prepare_dataset(scale)?;
     let flow = prepare_flow(scale);
-    let trained = train_models(&[ModelKind::SdmPeb], &dataset, scale.epochs());
+    let trained = train_models(&[ModelKind::SdmPeb], &dataset, scale.epochs())?;
     let model = &trained[0].model;
 
     let sample = &dataset.test[0];
@@ -42,7 +43,7 @@ fn main() {
         .expect("contacts");
 
     let out = PathBuf::from("target/figures");
-    std::fs::create_dir_all(&out).expect("figures dir");
+    std::fs::create_dir_all(&out).ctx("creating figures dir")?;
 
     for (name, contact) in [("centre", centre), ("corner", corner)] {
         let y = contact.cy.round() as usize;
@@ -56,9 +57,10 @@ fn main() {
         print!("{}", ascii_heatmap(&pr));
         let max_abs = diff.abs_t().max_value();
         println!("(c) difference: max |diff| = {max_abs:.3}");
-        write_pgm(&gt, 0.0, 1.0, &out.join(format!("fig9_{name}_truth.pgm"))).expect("pgm");
-        write_pgm(&pr, 0.0, 1.0, &out.join(format!("fig9_{name}_pred.pgm"))).expect("pgm");
-        write_pgm(&diff, -0.1, 0.1, &out.join(format!("fig9_{name}_diff.pgm"))).expect("pgm");
+        write_pgm(&gt, 0.0, 1.0, &out.join(format!("fig9_{name}_truth.pgm"))).ctx("writing pgm")?;
+        write_pgm(&pr, 0.0, 1.0, &out.join(format!("fig9_{name}_pred.pgm"))).ctx("writing pgm")?;
+        write_pgm(&diff, -0.1, 0.1, &out.join(format!("fig9_{name}_diff.pgm")))
+            .ctx("writing pgm")?;
     }
 
     // Depthwise-consistency shape check: per-layer NRMSE should not blow
@@ -73,4 +75,5 @@ fn main() {
     println!("[fig9] wrote target/figures/fig9_*.pgm");
 
     peb_bench::emit_profile("fig9");
+    Ok(())
 }

@@ -13,6 +13,7 @@
 use std::path::PathBuf;
 
 use peb_bench::viz::{vertical_section, write_csv, write_pgm};
+use peb_guard::{Context, PebError};
 use peb_litho::{
     measure_contact_profiles, resist_profile_obj, ClipStyle, Grid, LithoFlow, MaskConfig,
 };
@@ -82,37 +83,24 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
-    let grid = match Grid::new(
+fn main() -> Result<(), PebError> {
+    let args = parse_args().map_err(PebError::config)?;
+    let grid = Grid::new(
         args.size,
         args.size,
         args.depth,
         4.0,
         4.0,
         80.0 / args.depth as f32,
-    ) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
+    )
+    .map_err(PebError::from)
+    .ctx("constructing simulation grid")?;
     let mut mask_cfg = MaskConfig::demo(grid.nx);
     mask_cfg.style = args.style;
-    let clip = match mask_cfg.generate(args.seed) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
-    };
+    let clip = mask_cfg
+        .generate(args.seed)
+        .map_err(PebError::from)
+        .ctx("generating mask clip")?;
     let mut flow = LithoFlow::new(grid);
     flow.dill.c_dose *= args.dose;
     eprintln!(
@@ -125,34 +113,34 @@ fn main() {
         grid.nz,
         args.dose
     );
-    let sim = match flow.run(&clip) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
-    };
-    std::fs::create_dir_all(&args.out).expect("output dir");
+    let sim = flow
+        .run(&clip)
+        .map_err(PebError::from)
+        .ctx("rigorous lithography flow")?;
+    std::fs::create_dir_all(&args.out)
+        .with_ctx(|| format!("creating output dir {}", args.out.display()))?;
 
     // Layer images.
-    let save_layer = |volume: &peb_tensor::Tensor, name: &str, layer: usize| {
-        let s = volume.shape().to_vec();
-        let plane = volume
-            .slice_axis(0, layer, layer + 1)
-            .and_then(|t| t.reshape(&[s[1], s[2]]))
-            .expect("layer");
-        write_pgm(
-            &plane,
-            plane.min_value(),
-            plane.max_value(),
-            &args.out.join(format!("{name}_z{layer}.pgm")),
-        )
-        .expect("pgm");
-    };
+    let save_layer =
+        |volume: &peb_tensor::Tensor, name: &str, layer: usize| -> Result<(), PebError> {
+            let s = volume.shape().to_vec();
+            let plane = volume
+                .slice_axis(0, layer, layer + 1)
+                .and_then(|t| t.reshape(&[s[1], s[2]]))
+                .map_err(PebError::from)
+                .with_ctx(|| format!("extracting layer {layer} of {name}"))?;
+            write_pgm(
+                &plane,
+                plane.min_value(),
+                plane.max_value(),
+                &args.out.join(format!("{name}_z{layer}.pgm")),
+            )
+            .ctx("writing pgm")
+        };
     for layer in [0, grid.nz - 1] {
-        save_layer(&sim.aerial, "aerial", layer);
-        save_layer(&sim.acid0, "acid0", layer);
-        save_layer(&sim.inhibitor, "inhibitor", layer);
+        save_layer(&sim.aerial, "aerial", layer)?;
+        save_layer(&sim.acid0, "acid0", layer)?;
+        save_layer(&sim.inhibitor, "inhibitor", layer)?;
     }
     write_pgm(
         &vertical_section(&sim.inhibitor, grid.ny / 2),
@@ -160,14 +148,17 @@ fn main() {
         1.0,
         &args.out.join("inhibitor_xz.pgm"),
     )
-    .expect("pgm");
+    .ctx("writing pgm")?;
 
     // 3-D profile + metrology.
-    let obj = resist_profile_obj(&grid, &sim.arrival, flow.mack.duration).expect("obj");
-    std::fs::write(args.out.join("resist_profile.obj"), obj).expect("obj write");
+    let obj = resist_profile_obj(&grid, &sim.arrival, flow.mack.duration)
+        .map_err(PebError::from)
+        .ctx("meshing resist profile")?;
+    std::fs::write(args.out.join("resist_profile.obj"), obj).ctx("writing resist_profile.obj")?;
     let profiles =
         measure_contact_profiles(&grid, &sim.arrival, flow.mack.duration, &clip.contacts)
-            .expect("profiles");
+            .map_err(PebError::from)
+            .ctx("measuring contact profiles")?;
     write_csv(
         &[
             ("cd_x_nm", sim.cds.iter().map(|c| c.cd_x_nm).collect()),
@@ -184,7 +175,7 @@ fn main() {
         ],
         &args.out.join("metrology.csv"),
     )
-    .expect("csv");
+    .ctx("writing metrology.csv")?;
 
     println!(
         "[simulate] PEB {:.2?}, total {:.2?}; {} contacts open; artefacts in {}",
@@ -195,4 +186,5 @@ fn main() {
     );
 
     peb_bench::emit_profile("simulate");
+    Ok(())
 }

@@ -9,17 +9,23 @@
 
 use peb_bench::{
     evaluate_model, evaluate_rigorous_baseline, prepare_dataset, prepare_flow, render_table,
-    train_models, ModelKind, PAPER_TABLE2,
+    train_models_with, ModelKind, TrainOptions, PAPER_TABLE2,
 };
 use peb_data::ExperimentScale;
+use peb_guard::PebError;
 
-fn main() {
+fn main() -> Result<(), PebError> {
     let scale = ExperimentScale::from_env();
     eprintln!("[table2] scale = {}", scale.name());
-    let dataset = prepare_dataset(scale);
+    let dataset = prepare_dataset(scale)?;
     let flow = prepare_flow(scale);
 
-    let trained = train_models(&ModelKind::TABLE2, &dataset, scale.epochs());
+    let trained = train_models_with(
+        &ModelKind::TABLE2,
+        &dataset,
+        scale.epochs(),
+        &TrainOptions::from_args()?,
+    )?;
     let rows: Vec<_> = trained
         .iter()
         .map(|t| evaluate_model(t.model.as_ref(), &dataset, &flow))
@@ -83,4 +89,5 @@ fn main() {
     }
 
     peb_bench::emit_profile("table2");
+    Ok(())
 }

@@ -2,17 +2,24 @@
 //! 2-D Scan, w/o Focal Loss, w/o Regularization vs the full SDM-PEB.
 
 use peb_bench::{
-    evaluate_model, prepare_dataset, prepare_flow, train_models, ModelKind, PAPER_TABLE3,
+    evaluate_model, prepare_dataset, prepare_flow, train_models_with, ModelKind, TrainOptions,
+    PAPER_TABLE3,
 };
 use peb_data::ExperimentScale;
+use peb_guard::PebError;
 
-fn main() {
+fn main() -> Result<(), PebError> {
     let scale = ExperimentScale::from_env();
     eprintln!("[table3] scale = {}", scale.name());
-    let dataset = prepare_dataset(scale);
+    let dataset = prepare_dataset(scale)?;
     let flow = prepare_flow(scale);
 
-    let trained = train_models(&ModelKind::TABLE3, &dataset, scale.epochs());
+    let trained = train_models_with(
+        &ModelKind::TABLE3,
+        &dataset,
+        scale.epochs(),
+        &TrainOptions::from_args()?,
+    )?;
     let rows: Vec<_> = trained
         .iter()
         .map(|t| {
@@ -57,4 +64,5 @@ fn main() {
     );
 
     peb_bench::emit_profile("table3");
+    Ok(())
 }

@@ -1,5 +1,6 @@
 //! Uniform construction and training of all compared models.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use rand::rngs::StdRng;
@@ -9,7 +10,8 @@ use peb_baselines::{
     DeePeb, DeePebConfig, DeepCnn, DeepCnnConfig, Fno, FnoConfig, TempoResist, TempoResistConfig,
 };
 use peb_data::Dataset;
-use sdm_peb::{PebLoss, PebPredictor, SdmPeb, SdmPebConfig, TrainConfig, Trainer};
+use peb_guard::Context;
+use sdm_peb::{PebError, PebLoss, PebPredictor, SdmPeb, SdmPebConfig, TrainConfig, Trainer};
 
 /// Which model (or SDM-PEB ablation) to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +122,57 @@ pub fn build_model(kind: ModelKind, dims: (usize, usize, usize)) -> Box<dyn PebP
     }
 }
 
+/// Fault-tolerance options for harness training runs, settable per
+/// binary via `--checkpoint-dir <path>` / `--resume` CLI flags or the
+/// `PEB_CKPT_DIR` / `PEB_RESUME` environment variables (flags win).
+#[derive(Debug, Clone, Default)]
+pub struct TrainOptions {
+    /// Root directory for training checkpoints; each model checkpoints
+    /// into a `<slug>-<epochs>ep/` subdirectory. `None` disables
+    /// checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume each model from its newest valid checkpoint (requires
+    /// `checkpoint_dir`; an empty directory falls back to training from
+    /// scratch).
+    pub resume: bool,
+}
+
+impl TrainOptions {
+    /// Reads `PEB_CKPT_DIR` / `PEB_RESUME` from the environment.
+    pub fn from_env() -> Self {
+        TrainOptions {
+            checkpoint_dir: std::env::var_os("PEB_CKPT_DIR").map(PathBuf::from),
+            resume: std::env::var_os("PEB_RESUME").is_some(),
+        }
+    }
+
+    /// Parses `--checkpoint-dir <path>` (or `--checkpoint-dir=<path>`)
+    /// and `--resume` from the process arguments, falling back to the
+    /// environment for anything not given on the command line.
+    pub fn from_args() -> Result<Self, PebError> {
+        let mut opts = TrainOptions::from_env();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--checkpoint-dir" {
+                let v = args
+                    .next()
+                    .ok_or_else(|| PebError::config("--checkpoint-dir requires a path argument"))?;
+                opts.checkpoint_dir = Some(PathBuf::from(v));
+            } else if let Some(v) = a.strip_prefix("--checkpoint-dir=") {
+                opts.checkpoint_dir = Some(PathBuf::from(v));
+            } else if a == "--resume" {
+                opts.resume = true;
+            }
+        }
+        if opts.resume && opts.checkpoint_dir.is_none() {
+            return Err(PebError::config(
+                "--resume requires --checkpoint-dir (or PEB_CKPT_DIR)",
+            ));
+        }
+        Ok(opts)
+    }
+}
+
 /// A trained model with bookkeeping.
 pub struct TrainedModel {
     /// Which variant this is.
@@ -179,51 +232,89 @@ fn try_restore(model: &dyn PebPredictor, path: &std::path::Path) -> bool {
 /// Trained weights are cached under `target/peb-cache/` so every
 /// table/figure binary shares one training run per configuration; delete
 /// the cache (or change `PEB_EPOCHS`) to retrain.
-pub fn train_models(kinds: &[ModelKind], dataset: &Dataset, epochs: usize) -> Vec<TrainedModel> {
+pub fn train_models(
+    kinds: &[ModelKind],
+    dataset: &Dataset,
+    epochs: usize,
+) -> Result<Vec<TrainedModel>, PebError> {
+    train_models_with(kinds, dataset, epochs, &TrainOptions::from_env())
+}
+
+/// [`train_models`] with explicit fault-tolerance options (checkpoint
+/// directory and resume behaviour); the table/figure binaries feed their
+/// CLI flags through here.
+///
+/// # Errors
+///
+/// Propagates any [`PebError`] from training — divergence with an
+/// exhausted retry budget, checkpoint I/O failures, or a corrupt
+/// checkpoint store on resume.
+pub fn train_models_with(
+    kinds: &[ModelKind],
+    dataset: &Dataset,
+    epochs: usize,
+    opts: &TrainOptions,
+) -> Result<Vec<TrainedModel>, PebError> {
     let dims = (dataset.grid.nz, dataset.grid.ny, dataset.grid.nx);
     let stats = peb_data::LabelStats::from_dataset(dataset);
     let pairs: Vec<_> = peb_data::augment_with_flips(&dataset.training_pairs())
         .into_iter()
         .map(|(acid, label)| (acid, stats.normalize(&label)))
         .collect();
-    kinds
-        .iter()
-        .map(|&kind| {
-            let model = build_model(kind, dims);
-            let cache = weight_cache_path(kind, dataset, epochs);
-            if try_restore(model.as_ref(), &cache) {
-                eprintln!("[harness] {}: restored cached weights", kind.label());
-                return TrainedModel {
-                    kind,
-                    model,
-                    train_time: Duration::ZERO,
-                    final_loss: f32::NAN,
-                };
-            }
-            eprintln!(
-                "[harness] training {} ({epochs} epochs on {} augmented clips)…",
-                kind.label(),
-                pairs.len()
-            );
-            let mut cfg = TrainConfig::quick(epochs);
-            cfg.loss = kind.loss();
-            let report = Trainer::new(cfg).fit(model.as_ref(), &pairs);
-            eprintln!(
-                "[harness]   {}: final loss {:.4} in {:.1?}",
-                kind.label(),
-                report.final_loss,
-                report.elapsed
-            );
-            let weights: Vec<_> = model.parameters().iter().map(|p| p.value_clone()).collect();
-            if let Err(e) = peb_data::save_tensors(&weights, &cache) {
-                eprintln!("[harness] could not cache weights: {e}");
-            }
-            TrainedModel {
+    let mut out = Vec::with_capacity(kinds.len());
+    for &kind in kinds {
+        let model = build_model(kind, dims);
+        let cache = weight_cache_path(kind, dataset, epochs);
+        if try_restore(model.as_ref(), &cache) {
+            eprintln!("[harness] {}: restored cached weights", kind.label());
+            out.push(TrainedModel {
                 kind,
                 model,
-                train_time: report.elapsed,
-                final_loss: report.final_loss,
-            }
-        })
-        .collect()
+                train_time: Duration::ZERO,
+                final_loss: f32::NAN,
+            });
+            continue;
+        }
+        eprintln!(
+            "[harness] training {} ({epochs} epochs on {} augmented clips)…",
+            kind.label(),
+            pairs.len()
+        );
+        let mut cfg = TrainConfig::quick(epochs);
+        cfg.loss = kind.loss();
+        cfg.guard.checkpoint_dir = opts
+            .checkpoint_dir
+            .as_ref()
+            .map(|root| root.join(format!("{}-{epochs}ep", kind.slug())));
+        let trainer = Trainer::new(cfg);
+        let report = if opts.resume && trainer.config.guard.checkpoint_dir.is_some() {
+            trainer.resume(model.as_ref(), &pairs)
+        } else {
+            trainer.fit(model.as_ref(), &pairs)
+        }
+        .with_ctx(|| format!("training {}", kind.label()))?;
+        if let Some(epoch) = report.resumed_from {
+            eprintln!(
+                "[harness]   {}: resumed from checkpoint at epoch {epoch}",
+                kind.label()
+            );
+        }
+        eprintln!(
+            "[harness]   {}: final loss {:.4} in {:.1?}",
+            kind.label(),
+            report.final_loss,
+            report.elapsed
+        );
+        let weights: Vec<_> = model.parameters().iter().map(|p| p.value_clone()).collect();
+        if let Err(e) = peb_data::save_tensors(&weights, &cache) {
+            eprintln!("[harness] could not cache weights: {e}");
+        }
+        out.push(TrainedModel {
+            kind,
+            model,
+            train_time: report.elapsed,
+            final_loss: report.final_loss,
+        });
+    }
+    Ok(out)
 }

@@ -2,7 +2,8 @@
 
 use std::path::PathBuf;
 
-use peb_data::{load_dataset, save_dataset, Dataset, ExperimentScale};
+use peb_data::{load_dataset_lenient, save_dataset, Dataset, ExperimentScale};
+use peb_guard::{Context, PebError};
 use peb_litho::LithoFlow;
 
 /// Cache directory for generated datasets (`target/peb-cache`).
@@ -18,22 +19,31 @@ fn cache_dir() -> PathBuf {
 /// Generates (or loads from cache) the dataset for a scale preset.
 ///
 /// The rigorous solves take the bulk of the harness time; the cache makes
-/// every subsequent table/figure binary start instantly.
+/// every subsequent table/figure binary start instantly. Cache reads are
+/// lenient: a partially corrupt cache (truncated tail, failed checksum)
+/// is reported and regenerated rather than trusted or fatal.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if generation fails (invalid preset configuration would be a
-/// bug) or the cache directory cannot be created.
-pub fn prepare_dataset(scale: ExperimentScale) -> Dataset {
+/// Returns a typed [`PebError`] when dataset generation fails or the
+/// cache directory cannot be created.
+pub fn prepare_dataset(scale: ExperimentScale) -> Result<Dataset, PebError> {
     let dir = cache_dir();
-    std::fs::create_dir_all(&dir).expect("create cache dir");
+    std::fs::create_dir_all(&dir).with_ctx(|| format!("creating cache dir {}", dir.display()))?;
     let path = dir.join(format!("dataset-{}.bin", scale.name()));
     if path.exists() {
-        match load_dataset(&path) {
-            Ok(ds) => {
+        match load_dataset_lenient(&path) {
+            Ok((ds, report)) if report.clean() => {
                 eprintln!("[harness] loaded cached dataset {}", path.display());
-                return ds;
+                return Ok(ds);
             }
+            Ok((_, report)) => eprintln!(
+                "[harness] cache damaged ({} sample(s) quarantined, {} lost, crc_ok={:?}); \
+                 regenerating",
+                report.quarantined.len(),
+                report.lost,
+                report.crc_ok
+            ),
             Err(e) => eprintln!("[harness] cache unreadable ({e}); regenerating"),
         }
     }
@@ -43,11 +53,13 @@ pub fn prepare_dataset(scale: ExperimentScale) -> Dataset {
         scale.dataset_config().n_train,
         scale.dataset_config().n_test
     );
-    let ds = Dataset::generate(&scale.dataset_config()).expect("dataset generation");
+    let ds = Dataset::generate(&scale.dataset_config())
+        .map_err(PebError::from)
+        .ctx("dataset generation")?;
     if let Err(e) = save_dataset(&ds, &path) {
         eprintln!("[harness] could not cache dataset: {e}");
     }
-    ds
+    Ok(ds)
 }
 
 /// The rigorous flow matching a scale preset (used to develop model

@@ -49,5 +49,6 @@ pub use label::LabelTransform;
 pub use loss::{LossBreakdown, PebLoss, Reduction};
 pub use metrics::{cd_error_nm, cd_histogram, nrmse, rmse, CdErrorStats, CD_BUCKET_LABELS};
 pub use model::{SdmPeb, SdmPebConfig};
+pub use peb_guard::{PebError, Result};
 pub use solver::PebPredictor;
-pub use train::{TrainConfig, TrainReport, Trainer};
+pub use train::{EpochStats, GuardConfig, TrainConfig, TrainReport, Trainer};

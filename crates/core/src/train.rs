@@ -1,16 +1,68 @@
-//! Shared training loop with gradient accumulation and step decay.
+//! Shared training loop with gradient accumulation, step decay, and the
+//! `peb-guard` fault-tolerance machinery: atomic epoch checkpoints,
+//! bitwise-faithful resume, and a divergence sentinel that rolls back to
+//! the last good state and retries with a backed-off learning rate.
+//!
+//! # Rollback state machine (DESIGN.md §10)
+//!
+//! ```text
+//!           ┌────────────────────────────────────────────────┐
+//!           ▼                                                │ healthy
+//!   ┌──── epoch ────┐   non-finite params/loss   ┌──────── retry ───────┐
+//!   │ shuffle, run  │ ─────────────────────────▶ │ restore last good    │
+//!   │ batches, step │                            │ weights + optimiser, │
+//!   │ optimiser     │ ◀───────────────────────── │ lr ×= backoff        │
+//!   └───────┬───────┘        budget left         └──────────┬───────────┘
+//!           │ healthy: snapshot + checkpoint                │ budget exhausted
+//!           ▼                                               ▼
+//!       next epoch                               Err(PebError::Divergence)
+//! ```
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use peb_nn::{Adam, Optimizer, StepDecay};
+use peb_guard::{chaos, Context, EpochRecord, OptKind, PebError, TrainCheckpoint};
+use peb_nn::{Adam, OptimState, Optimizer, StepDecay};
 use peb_tensor::Tensor;
 
 use crate::loss::PebLoss;
 use crate::solver::PebPredictor;
+
+/// Fault-tolerance knobs for one training run.
+#[derive(Debug, Clone)]
+pub struct GuardConfig {
+    /// Directory for atomic epoch checkpoints (`None` disables
+    /// checkpointing; the in-memory divergence rollback still works).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write a checkpoint every this many completed epochs.
+    pub checkpoint_every: usize,
+    /// Checkpoint files retained on disk. Two is the minimum for the
+    /// corrupt-latest fallback story; older files are pruned.
+    pub keep_checkpoints: usize,
+    /// Divergence retry budget for the whole run. Each retry restores the
+    /// last good state and shrinks the learning rate by
+    /// [`GuardConfig::lr_backoff`]; when exhausted the run fails with
+    /// [`PebError::Divergence`].
+    pub max_retries: u32,
+    /// Multiplicative learning-rate backoff applied per rollback.
+    pub lr_backoff: f32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            keep_checkpoints: 2,
+            max_retries: 3,
+            lr_backoff: 0.5,
+        }
+    }
+}
 
 /// Training hyper-parameters.
 ///
@@ -37,6 +89,8 @@ pub struct TrainConfig {
     pub clip_norm: Option<f32>,
     /// Shuffling seed.
     pub seed: u64,
+    /// Fault-tolerance configuration (checkpointing, rollback budget).
+    pub guard: GuardConfig,
 }
 
 impl TrainConfig {
@@ -57,8 +111,23 @@ impl TrainConfig {
             loss: PebLoss::paper(),
             clip_norm: Some(10.0),
             seed: 20250705,
+            guard: GuardConfig::default(),
         }
     }
+}
+
+/// Per-epoch accounting. A skipped micro-batch (non-finite loss or
+/// gradient) leaves `mean_loss` short by construction — `skipped_batches`
+/// makes that visible instead of silent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean combined loss over the full dataset length (skipped batches
+    /// contribute zero, so compare against `skipped_batches`).
+    pub mean_loss: f32,
+    /// Micro-batches dropped by the non-finite guard this epoch.
+    pub skipped_batches: usize,
 }
 
 /// Summary of one training run.
@@ -68,8 +137,16 @@ pub struct TrainReport {
     pub epoch_losses: Vec<f32>,
     /// Final epoch's mean loss.
     pub final_loss: f32,
-    /// Wall-clock training time.
+    /// Wall-clock training time (this process only — a resumed run
+    /// counts from resume).
     pub elapsed: Duration,
+    /// Per-epoch accounting, including epochs restored from a checkpoint.
+    pub epochs: Vec<EpochStats>,
+    /// Divergence rollbacks performed over the run's whole history.
+    pub rollbacks: u64,
+    /// `Some(epoch)` when this run resumed from a checkpoint written
+    /// after `epoch` completed epochs.
+    pub resumed_from: Option<usize>,
 }
 
 /// Trains any [`PebPredictor`] on `(acid, label)` pairs.
@@ -79,31 +156,129 @@ pub struct Trainer {
     pub config: TrainConfig,
 }
 
+/// Last-good state for the divergence rollback (and the payload of every
+/// checkpoint): cloned weights, optimiser state, and position.
+struct Snapshot {
+    epoch: usize,
+    params: Vec<Tensor>,
+    opt: OptimState,
+    lr_scale: f32,
+}
+
 impl Trainer {
     /// Creates a trainer.
     pub fn new(config: TrainConfig) -> Self {
         Trainer { config }
     }
 
-    /// Runs the full training loop.
+    /// Runs the full training loop from scratch.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `data` is empty.
-    pub fn fit(&self, model: &dyn PebPredictor, data: &[(Tensor, Tensor)]) -> TrainReport {
-        assert!(!data.is_empty(), "training set is empty");
+    /// [`PebError::Config`] for an empty dataset, [`PebError::Divergence`]
+    /// when the rollback/retry budget is exhausted, [`PebError::Io`] when
+    /// checkpointing is configured and fails, and
+    /// [`PebError::Injected`] for chaos-harness kills.
+    pub fn fit(
+        &self,
+        model: &dyn PebPredictor,
+        data: &[(Tensor, Tensor)],
+    ) -> Result<TrainReport, PebError> {
+        self.run(model, data, None)
+    }
+
+    /// Resumes from the newest valid checkpoint in
+    /// `guard.checkpoint_dir`, producing a training trajectory bitwise
+    /// identical to an uninterrupted [`Trainer::fit`]. An empty directory
+    /// falls back to a fresh run; a corrupt newest checkpoint falls back
+    /// to the previous retained one.
+    ///
+    /// # Errors
+    ///
+    /// [`PebError::Config`] when no checkpoint directory is configured or
+    /// the checkpoint does not match the model/config;
+    /// [`PebError::Corrupt`] when checkpoints exist but none validates;
+    /// plus everything [`Trainer::fit`] can return.
+    pub fn resume(
+        &self,
+        model: &dyn PebPredictor,
+        data: &[(Tensor, Tensor)],
+    ) -> Result<TrainReport, PebError> {
+        let dir = self.config.guard.checkpoint_dir.as_ref().ok_or_else(|| {
+            PebError::config("Trainer::resume requires guard.checkpoint_dir to be set")
+        })?;
+        let ckpt = peb_guard::load_latest(dir).ctx("resuming training")?;
+        self.run(model, data, ckpt)
+    }
+
+    /// The shared loop behind [`Trainer::fit`] and [`Trainer::resume`].
+    fn run(
+        &self,
+        model: &dyn PebPredictor,
+        data: &[(Tensor, Tensor)],
+        resume: Option<TrainCheckpoint>,
+    ) -> Result<TrainReport, PebError> {
+        if data.is_empty() {
+            return Err(PebError::config("training set is empty"));
+        }
         let _span = peb_obs::span("train.fit");
         let start = Instant::now();
         let params = model.parameters();
         let mut opt = Adam::new(self.config.base_lr);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut stats: Vec<EpochStats> = Vec::with_capacity(self.config.epochs);
+        let mut lr_scale = 1.0f32;
+        let mut rollbacks = 0u64;
+        let mut start_epoch = 0usize;
+        let resumed_from = resume.as_ref().map(|c| c.epoch as usize);
+
+        if let Some(ckpt) = resume {
+            self.restore_checkpoint(&ckpt, &params, &mut opt)?;
+            start_epoch = ckpt.epoch as usize;
+            lr_scale = ckpt.lr_scale;
+            rollbacks = ckpt.rollbacks;
+            stats.extend(
+                ckpt.epoch_stats
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| EpochStats {
+                        epoch: i,
+                        mean_loss: r.mean_loss,
+                        skipped_batches: r.skipped_batches as usize,
+                    }),
+            );
+        }
+
+        // The shuffle RNG is never persisted: its stream is a pure
+        // function of (seed, completed epochs), so resume and rollback
+        // both reconstruct it by replaying shuffles. This is what makes
+        // a resumed trajectory bitwise identical to an uninterrupted one.
         let mut order: Vec<usize> = (0..data.len()).collect();
-        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
-        for epoch in 0..self.config.epochs {
-            let _epoch_span = peb_obs::span("train.epoch");
-            opt.set_lr(self.config.base_lr * self.config.schedule.lr_at(epoch));
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        for _ in 0..start_epoch {
             order.shuffle(&mut rng);
+        }
+
+        if let Some(dir) = &self.config.guard.checkpoint_dir {
+            std::fs::create_dir_all(dir)
+                .with_ctx(|| format!("creating checkpoint dir {}", dir.display()))?;
+        }
+
+        let mut snapshot = Snapshot {
+            epoch: start_epoch,
+            params: params.iter().map(|p| p.value_clone()).collect(),
+            opt: opt.export_state(&params),
+            lr_scale,
+        };
+        let mut retries_left = self.config.guard.max_retries;
+
+        let mut epoch = start_epoch;
+        while epoch < self.config.epochs {
+            let _epoch_span = peb_obs::span("train.epoch");
+            opt.set_lr(self.config.base_lr * self.config.schedule.lr_at(epoch) * lr_scale);
+            order.shuffle(&mut rng);
+            let mut spike_armed = chaos::take_nan_spike(epoch as u64);
             let mut epoch_loss = 0f64;
+            let mut skipped = 0usize;
             let mut pending = 0usize;
             for &i in &order {
                 let (acid, label) = &data[i];
@@ -113,40 +288,228 @@ impl Trainer {
                 if !loss_value.is_finite() {
                     // A diverged micro-batch must not poison the weights:
                     // drop its gradient contribution and move on.
-                    model.parameters().iter().for_each(|p| p.zero_grad());
+                    params.iter().for_each(|p| p.zero_grad());
                     pending = 0;
+                    skipped += 1;
+                    peb_obs::count(peb_obs::Counter::GuardSkippedBatches, 1);
                     continue;
                 }
                 epoch_loss += loss_value as f64;
                 loss.backward();
                 pending += 1;
                 if pending == self.config.accumulate {
-                    self.clip_gradients(&params);
-                    opt.step(&params);
+                    if self.clip_gradients(&params) {
+                        opt.step(&params);
+                    } else {
+                        skipped += pending;
+                        peb_obs::count(peb_obs::Counter::GuardSkippedBatches, pending as u64);
+                    }
                     opt.zero_grad(&params);
                     pending = 0;
+                    if spike_armed {
+                        // Chaos: an "undetected" numeric blow-up — poison
+                        // the weights after an optimiser step so only the
+                        // epoch-level sentinel can catch it.
+                        spike_armed = false;
+                        if let Some(p) = params.first() {
+                            let shape = p.value().shape().to_vec();
+                            p.set_value(Tensor::full(&shape, f32::NAN));
+                        }
+                    }
                 }
             }
             if pending > 0 {
-                self.clip_gradients(&params);
-                opt.step(&params);
+                if self.clip_gradients(&params) {
+                    opt.step(&params);
+                } else {
+                    skipped += pending;
+                    peb_obs::count(peb_obs::Counter::GuardSkippedBatches, pending as u64);
+                }
                 opt.zero_grad(&params);
             }
-            epoch_losses.push((epoch_loss / data.len() as f64) as f32);
+            let mean_loss = (epoch_loss / data.len() as f64) as f32;
+
+            // Divergence sentinel: weights and the epoch mean must be
+            // finite, or the epoch is rolled back and retried.
+            let healthy = mean_loss.is_finite()
+                && params
+                    .iter()
+                    .all(|p| p.value().data().iter().all(|v| v.is_finite()));
+            if !healthy {
+                if retries_left == 0 {
+                    return Err(PebError::Divergence {
+                        detail: format!(
+                            "non-finite weights after epoch {epoch}; retry budget ({}) exhausted",
+                            self.config.guard.max_retries
+                        ),
+                        rollbacks,
+                    });
+                }
+                retries_left -= 1;
+                rollbacks += 1;
+                lr_scale *= self.config.guard.lr_backoff;
+                peb_obs::count(peb_obs::Counter::GuardRollbacks, 1);
+                peb_obs::count(peb_obs::Counter::GuardRetries, 1);
+                eprintln!(
+                    "[peb-guard] epoch {epoch} diverged; rolling back to epoch {} and retrying \
+                     at lr ×{lr_scale} ({retries_left} retries left)",
+                    snapshot.epoch
+                );
+                for (p, good) in params.iter().zip(&snapshot.params) {
+                    p.set_value(good.clone());
+                    p.zero_grad();
+                }
+                opt = Adam::new(self.config.base_lr);
+                opt.restore_state(&params, &snapshot.opt);
+                // Replay the RNG to the snapshot's epoch boundary so the
+                // retried epoch sees the same shuffle as the failed try.
+                order = (0..data.len()).collect();
+                rng = StdRng::seed_from_u64(self.config.seed);
+                for _ in 0..snapshot.epoch {
+                    order.shuffle(&mut rng);
+                }
+                epoch = snapshot.epoch;
+                continue;
+            }
+
+            stats.push(EpochStats {
+                epoch,
+                mean_loss,
+                skipped_batches: skipped,
+            });
+            snapshot = Snapshot {
+                epoch: epoch + 1,
+                params: params.iter().map(|p| p.value_clone()).collect(),
+                opt: opt.export_state(&params),
+                lr_scale,
+            };
+            self.maybe_checkpoint(&snapshot, &stats, rollbacks)?;
+            epoch += 1;
         }
-        TrainReport {
-            final_loss: *epoch_losses.last().expect("at least one epoch"),
+
+        let epoch_losses: Vec<f32> = stats.iter().map(|s| s.mean_loss).collect();
+        Ok(TrainReport {
+            final_loss: epoch_losses
+                .last()
+                .copied()
+                .ok_or_else(|| PebError::config("zero training epochs configured"))?,
             epoch_losses,
             elapsed: start.elapsed(),
+            epochs: stats,
+            rollbacks,
+            resumed_from,
+        })
+    }
+
+    /// Restores checkpointed weights and optimiser state, validating the
+    /// checkpoint against the current model and config.
+    fn restore_checkpoint(
+        &self,
+        ckpt: &TrainCheckpoint,
+        params: &[peb_tensor::Var],
+        opt: &mut Adam,
+    ) -> Result<(), PebError> {
+        if ckpt.seed != self.config.seed {
+            return Err(PebError::config(format!(
+                "checkpoint seed {} does not match config seed {} — resume would not \
+                 reproduce the original trajectory",
+                ckpt.seed, self.config.seed
+            )));
         }
+        if ckpt.opt_kind != OptKind::Adam {
+            return Err(PebError::config(
+                "checkpoint was written by a non-Adam optimiser",
+            ));
+        }
+        if ckpt.epoch as usize > self.config.epochs {
+            return Err(PebError::config(format!(
+                "checkpoint is at epoch {} but the run is configured for {} epochs",
+                ckpt.epoch, self.config.epochs
+            )));
+        }
+        if ckpt.params.len() != params.len() {
+            return Err(PebError::config(format!(
+                "checkpoint has {} parameters, model has {}",
+                ckpt.params.len(),
+                params.len()
+            )));
+        }
+        for (i, (p, t)) in params.iter().zip(&ckpt.params).enumerate() {
+            if p.value().shape() != t.shape() {
+                return Err(PebError::config(format!(
+                    "checkpoint parameter {i} has shape {:?}, model expects {:?}",
+                    t.shape(),
+                    p.value().shape()
+                )));
+            }
+        }
+        for (p, t) in params.iter().zip(&ckpt.params) {
+            p.set_value(t.clone());
+            p.zero_grad();
+        }
+        opt.restore_state(
+            params,
+            &OptimState {
+                t: ckpt.opt_t,
+                m: ckpt.opt_m.clone(),
+                v: ckpt.opt_v.clone(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Writes an atomic checkpoint at the configured cadence, applies any
+    /// armed chaos corruption, prunes old files, and honours an armed
+    /// chaos kill.
+    fn maybe_checkpoint(
+        &self,
+        snapshot: &Snapshot,
+        stats: &[EpochStats],
+        rollbacks: u64,
+    ) -> Result<(), PebError> {
+        let Some(dir) = &self.config.guard.checkpoint_dir else {
+            return Ok(());
+        };
+        let every = self.config.guard.checkpoint_every.max(1);
+        if !snapshot.epoch.is_multiple_of(every) && snapshot.epoch != self.config.epochs {
+            return Ok(());
+        }
+        let ckpt = TrainCheckpoint {
+            epoch: snapshot.epoch as u64,
+            seed: self.config.seed,
+            opt_kind: OptKind::Adam,
+            opt_t: snapshot.opt.t,
+            lr_scale: snapshot.lr_scale,
+            rollbacks,
+            epoch_stats: stats
+                .iter()
+                .map(|s| EpochRecord {
+                    mean_loss: s.mean_loss,
+                    skipped_batches: s.skipped_batches as u64,
+                })
+                .collect(),
+            params: snapshot.params.clone(),
+            opt_m: snapshot.opt.m.clone(),
+            opt_v: snapshot.opt.v.clone(),
+        };
+        let path = peb_guard::checkpoint_path(dir, ckpt.epoch);
+        ckpt.save(&path)
+            .with_ctx(|| format!("checkpointing epoch {}", ckpt.epoch))?;
+        chaos::mangle_checkpoint(&path);
+        peb_guard::prune_checkpoints(dir, self.config.guard.keep_checkpoints.max(1));
+        if chaos::take_kill(ckpt.epoch) {
+            return Err(PebError::injected(format!(
+                "chaos kill after checkpoint of epoch {}",
+                ckpt.epoch
+            )));
+        }
+        Ok(())
     }
 
     /// Scales all gradients down when their global L2 norm exceeds the
-    /// configured threshold.
-    fn clip_gradients(&self, params: &[peb_tensor::Var]) {
-        let Some(max_norm) = self.config.clip_norm else {
-            return;
-        };
+    /// configured threshold. Returns `false` when the norm is non-finite
+    /// (the caller must drop the accumulated window instead of stepping).
+    fn clip_gradients(&self, params: &[peb_tensor::Var]) -> bool {
         let mut total = 0f64;
         for p in params {
             if let Some(g) = p.grad() {
@@ -158,6 +521,12 @@ impl Trainer {
             }
         }
         let norm = total.sqrt() as f32;
+        if !norm.is_finite() {
+            return false;
+        }
+        let Some(max_norm) = self.config.clip_norm else {
+            return true;
+        };
         if norm > max_norm {
             let scale = max_norm / norm;
             for p in params {
@@ -172,6 +541,7 @@ impl Trainer {
                 }
             }
         }
+        true
     }
 }
 
@@ -196,8 +566,11 @@ mod tests {
             .collect();
         let mut cfg = TrainConfig::quick(6);
         cfg.accumulate = 2;
-        let report = Trainer::new(cfg).fit(&model, &data);
+        let report = Trainer::new(cfg).fit(&model, &data).expect("training");
         assert_eq!(report.epoch_losses.len(), 6);
+        assert_eq!(report.epochs.len(), 6);
+        assert_eq!(report.rollbacks, 0);
+        assert_eq!(report.resumed_from, None);
         assert!(
             report.final_loss < report.epoch_losses[0] * 0.9,
             "{:?}",
@@ -214,11 +587,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn rejects_empty_dataset() {
+    fn rejects_empty_dataset_with_typed_error() {
         let mut rng = StdRng::seed_from_u64(111);
         let model = SdmPeb::new(SdmPebConfig::tiny((2, 16, 16)), &mut rng);
-        Trainer::new(TrainConfig::quick(1)).fit(&model, &[]);
+        let err = Trainer::new(TrainConfig::quick(1))
+            .fit(&model, &[])
+            .expect_err("empty dataset must be rejected");
+        assert!(
+            matches!(err.root(), PebError::Config { .. }),
+            "expected Config error, got {err}"
+        );
+        assert!(err.to_string().contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_is_a_config_error() {
+        let mut rng = StdRng::seed_from_u64(112);
+        let model = SdmPeb::new(SdmPebConfig::tiny((2, 16, 16)), &mut rng);
+        let acid = Tensor::rand_uniform(&[2, 16, 16], 0.0, 0.9, &mut rng);
+        let data = vec![(acid.clone(), acid)];
+        let err = Trainer::new(TrainConfig::quick(1))
+            .resume(&model, &data)
+            .expect_err("resume without a dir must fail");
+        assert!(matches!(err.root(), PebError::Config { .. }), "{err}");
     }
 }
 
@@ -243,7 +634,10 @@ mod failure_injection_tests {
         ];
         let mut cfg = TrainConfig::quick(3);
         cfg.accumulate = 1;
-        Trainer::new(cfg).fit(&model, &data);
+        let report = Trainer::new(cfg).fit(&model, &data).expect("training");
+        // The poisoned sample is skipped once per epoch and surfaced in
+        // the per-epoch accounting.
+        assert!(report.epochs.iter().all(|e| e.skipped_batches == 1));
         // Every weight must still be finite and the model usable.
         for p in model.parameters() {
             assert!(
@@ -267,7 +661,7 @@ mod failure_injection_tests {
         crate::loss::PebLoss::paper()
             .combined(&model.forward_train(&acid), &label)
             .backward();
-        trainer.clip_gradients(&params);
+        assert!(trainer.clip_gradients(&params), "finite norm must pass");
         let mut total = 0f64;
         for p in &params {
             if let Some(g) = p.grad() {
@@ -279,7 +673,7 @@ mod failure_injection_tests {
             }
         }
         let norm = total.sqrt() as f32;
-        let max = trainer.config.clip_norm.unwrap();
+        let max = trainer.config.clip_norm.expect("quick config clips");
         assert!(norm <= max * 1.01, "norm {norm} exceeds clip {max}");
     }
 }

@@ -1,0 +1,80 @@
+//! Kill/resume determinism with the SIMD kernels forced off.
+//!
+//! `peb_simd::set_level` is process-global, so this lives in its own test
+//! binary: the level is pinned to `Scalar` for the whole process and the
+//! resume-equals-uninterrupted guarantee is re-checked against the plain
+//! scalar kernels (the SIMD-on case is covered by `checkpoint_resume`).
+
+use std::path::PathBuf;
+
+use peb_guard::chaos::{self, Chaos};
+use peb_guard::PebError;
+use peb_simd::Level;
+use peb_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdm_peb::{SdmPeb, SdmPebConfig, TrainConfig, Trainer};
+
+const DIMS: (usize, usize, usize) = (2, 16, 16);
+
+fn fresh_model() -> SdmPeb {
+    let mut rng = StdRng::seed_from_u64(42);
+    SdmPeb::new(SdmPebConfig::tiny(DIMS), &mut rng)
+}
+
+fn toy_data() -> Vec<(Tensor, Tensor)> {
+    (0..4)
+        .map(|s| {
+            let mut r = StdRng::seed_from_u64(1000 + s);
+            let acid = Tensor::rand_uniform(&[DIMS.0, DIMS.1, DIMS.2], 0.0, 0.9, &mut r);
+            let label = acid.map(|a| 1.5 * a - 0.4);
+            (acid, label)
+        })
+        .collect()
+}
+
+#[test]
+fn kill_resume_is_bitwise_identical_with_scalar_kernels() {
+    peb_simd::set_level(Level::Scalar);
+    let epochs = 3;
+    let data = toy_data();
+    let dir: PathBuf = std::env::temp_dir().join("peb_ckpt_resume_scalar_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    let baseline = fresh_model();
+    let mut cfg = TrainConfig::quick(epochs);
+    cfg.accumulate = 2;
+    let baseline_report = Trainer::new(cfg.clone())
+        .fit(&baseline, &data)
+        .expect("uninterrupted run");
+
+    cfg.guard.checkpoint_dir = Some(dir.clone());
+    for kill_after in 1..epochs as u64 {
+        chaos::arm(Chaos::Kill { epoch: kill_after });
+        let model = fresh_model();
+        let err = Trainer::new(cfg.clone())
+            .resume(&model, &data)
+            .expect_err("armed kill must abort the run");
+        assert!(matches!(err.root(), PebError::Injected { .. }), "{err}");
+    }
+    chaos::disarm();
+    let survivor = fresh_model();
+    let report = Trainer::new(cfg)
+        .resume(&survivor, &data)
+        .expect("final resume");
+
+    let bits = |r: &sdm_peb::TrainReport| -> Vec<u32> {
+        r.epoch_losses.iter().map(|l| l.to_bits()).collect()
+    };
+    assert_eq!(bits(&baseline_report), bits(&report));
+    for (a, b) in peb_nn::Parameterized::parameters(&baseline)
+        .iter()
+        .zip(peb_nn::Parameterized::parameters(&survivor))
+    {
+        let ab: Vec<u32> = a.value().data().iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = b.value().data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb, "scalar-kernel weights must be bitwise identical");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn generate_produces_consistent_samples() {
-        let ds = Dataset::generate(&small_cfg()).unwrap();
+        let ds = Dataset::generate(&small_cfg()).expect("test value");
         assert_eq!(ds.train.len(), 2);
         assert_eq!(ds.test.len(), 1);
         for s in ds.train.iter().chain(&ds.test) {
@@ -152,22 +152,22 @@ mod tests {
 
     #[test]
     fn train_and_test_differ() {
-        let ds = Dataset::generate(&small_cfg()).unwrap();
+        let ds = Dataset::generate(&small_cfg()).expect("test value");
         assert_ne!(ds.train[0].acid0, ds.test[0].acid0);
         assert_ne!(ds.train[0].clip.seed, ds.test[0].clip.seed);
     }
 
     #[test]
     fn generation_is_deterministic() {
-        let a = Dataset::generate(&small_cfg()).unwrap();
-        let b = Dataset::generate(&small_cfg()).unwrap();
+        let a = Dataset::generate(&small_cfg()).expect("test value");
+        let b = Dataset::generate(&small_cfg()).expect("test value");
         assert_eq!(a.train[0].acid0, b.train[0].acid0);
         assert_eq!(a.train[0].label, b.train[0].label);
     }
 
     #[test]
     fn training_pairs_match_samples() {
-        let ds = Dataset::generate(&small_cfg()).unwrap();
+        let ds = Dataset::generate(&small_cfg()).expect("test value");
         let pairs = ds.training_pairs();
         assert_eq!(pairs.len(), 2);
         assert_eq!(pairs[0].0, ds.train[0].acid0);
@@ -241,7 +241,7 @@ mod label_stats_tests {
         let mut grid = Grid::small();
         grid.nz = 3;
         let cfg = DatasetConfig::for_grid(grid, 2, 1);
-        let ds = Dataset::generate(&cfg).unwrap();
+        let ds = Dataset::generate(&cfg).expect("test value");
         let stats = LabelStats::from_dataset(&ds);
         assert!(stats.std > 0.0);
         let t = &ds.train[0].label;
@@ -366,8 +366,8 @@ mod parallel_tests {
         grid.nz = 3;
         let mut cfg = DatasetConfig::for_grid(grid, 2, 1);
         cfg.seed = 314;
-        let seq = Dataset::generate(&cfg).unwrap();
-        let par = Dataset::generate_parallel(&cfg, 2).unwrap();
+        let seq = Dataset::generate(&cfg).expect("test value");
+        let par = Dataset::generate_parallel(&cfg, 2).expect("test value");
         assert_eq!(par.train.len(), seq.train.len());
         assert_eq!(par.test.len(), seq.test.len());
         for (a, b) in par.train.iter().zip(&seq.train) {
@@ -383,7 +383,7 @@ mod parallel_tests {
         let mut grid = Grid::small();
         grid.nz = 2;
         let cfg = DatasetConfig::for_grid(grid, 1, 1);
-        let ds = Dataset::generate_parallel(&cfg, 1).unwrap();
+        let ds = Dataset::generate_parallel(&cfg, 1).expect("test value");
         assert_eq!(ds.train.len() + ds.test.len(), 2);
     }
 }

@@ -4,67 +4,249 @@
 //! datasets are written to disk after first generation. The format is a
 //! minimal little-endian binary codec (no external serialisation backend
 //! is in the allowed dependency set).
+//!
+//! Format versions:
+//!
+//! * `PEBDATA3` (current) — the v2 body followed by a little-endian
+//!   CRC-32 (IEEE) footer over every preceding byte including the magic.
+//!   Files are written atomically (temp file + fsync + rename) via
+//!   `peb-guard`, so a crash mid-write never leaves a torn cache behind.
+//! * `PEBDATA2` (legacy) — same body, no checksum. Still readable;
+//!   [`LoadReport::crc_ok`] is `None` for such files.
+//!
+//! Corruption handling is explicit: [`load_dataset`] is strict (any
+//! checksum or decode failure is a typed [`PebError::Corrupt`]), while
+//! [`load_dataset_lenient`] quarantines corrupt *trailing* samples and
+//! returns the longest valid prefix together with a per-sample issue
+//! report, so a partially damaged cache still yields usable data.
 
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, Read, Write};
 use std::path::Path;
 use std::time::Duration;
 
+use peb_guard::{chaos, crc32, Context, PebError};
 use peb_litho::{ClipStyle, Contact, ContactCd, Grid, MaskClip};
 use peb_tensor::Tensor;
 
 use crate::dataset::{Dataset, Sample};
 
-const MAGIC: &[u8; 8] = b"PEBDATA2";
+const MAGIC_V3: &[u8; 8] = b"PEBDATA3";
+const MAGIC_V2: &[u8; 8] = b"PEBDATA2";
+const TENSOR_MAGIC: &[u8; 8] = b"PEBTENS1";
 
-/// Saves a dataset to `path`.
-///
-/// # Errors
-///
-/// Returns any underlying I/O error.
-pub fn save_dataset(ds: &Dataset, path: &Path) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    write_grid(&mut w, &ds.grid)?;
-    write_u64(&mut w, ds.train.len() as u64)?;
-    for s in &ds.train {
-        write_sample(&mut w, s)?;
-    }
-    write_u64(&mut w, ds.test.len() as u64)?;
-    for s in &ds.test {
-        write_sample(&mut w, s)?;
-    }
-    w.flush()
+/// One quarantined sample from a lenient load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleIssue {
+    /// Which split the sample belonged to.
+    pub split: Split,
+    /// Index within that split.
+    pub index: usize,
+    /// Human-readable decode failure.
+    pub detail: String,
 }
 
-/// Loads a dataset from `path`.
+/// Train/test split tag for [`SampleIssue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Split {
+    /// Training split.
+    Train,
+    /// Test split.
+    Test,
+}
+
+impl std::fmt::Display for Split {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Split::Train => write!(f, "train"),
+            Split::Test => write!(f, "test"),
+        }
+    }
+}
+
+/// Outcome report of a lenient dataset load.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Format version of the file (2 or 3).
+    pub version: u32,
+    /// Whole-file checksum verdict; `None` for legacy v2 files, which
+    /// carry no checksum.
+    pub crc_ok: Option<bool>,
+    /// Samples that could not be decoded. The codec is streaming, so the
+    /// first corrupt sample quarantines everything after it; the issue
+    /// list records the first failure plus the count it drags down.
+    pub quarantined: Vec<SampleIssue>,
+    /// Samples declared by the header but not recovered.
+    pub lost: usize,
+}
+
+impl LoadReport {
+    /// True when the file was fully intact.
+    pub fn clean(&self) -> bool {
+        self.quarantined.is_empty() && self.lost == 0 && self.crc_ok != Some(false)
+    }
+}
+
+/// Saves a dataset to `path` in the current (`PEBDATA3`) format: CRC-32
+/// footer, atomic temp-file + fsync + rename write.
 ///
 /// # Errors
 ///
-/// Returns an [`io::Error`] with kind `InvalidData` for version or format
-/// mismatches, or any underlying I/O error.
-pub fn load_dataset(path: &Path) -> io::Result<Dataset> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a PEB dataset cache (or wrong version)",
-        ));
+/// Returns [`PebError::Io`] for any underlying I/O failure.
+pub fn save_dataset(ds: &Dataset, path: &Path) -> Result<(), PebError> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC_V3);
+    write_body(&mut buf, ds).map_err(PebError::from)?;
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    peb_guard::atomic_write(path, &buf)
+        .with_ctx(|| format!("saving dataset to {}", path.display()))?;
+    chaos::mangle_dataset(path);
+    Ok(())
+}
+
+/// Loads a dataset from `path`, strictly: a checksum mismatch or any
+/// decode failure is an error. Reads both `PEBDATA3` and legacy
+/// `PEBDATA2` files.
+///
+/// # Errors
+///
+/// [`PebError::Corrupt`] for checksum/format/version damage,
+/// [`PebError::Io`] for underlying I/O failures.
+pub fn load_dataset(path: &Path) -> Result<Dataset, PebError> {
+    let (ds, report) = load_dataset_with(path, true)?;
+    debug_assert!(report.clean());
+    Ok(ds)
+}
+
+/// Loads a dataset, quarantining corrupt trailing samples instead of
+/// failing: the longest cleanly-decodable prefix is returned together
+/// with a [`LoadReport`] naming what was dropped.
+///
+/// # Errors
+///
+/// Still fails ([`PebError::Corrupt`]) when the header or grid — the
+/// part nothing can be recovered without — does not decode.
+pub fn load_dataset_lenient(path: &Path) -> Result<(Dataset, LoadReport), PebError> {
+    load_dataset_with(path, false)
+}
+
+/// Shared implementation behind [`load_dataset`] (`strict = true`) and
+/// [`load_dataset_lenient`] (`strict = false`).
+///
+/// # Errors
+///
+/// See [`load_dataset`] / [`load_dataset_lenient`].
+pub fn load_dataset_with(path: &Path, strict: bool) -> Result<(Dataset, LoadReport), PebError> {
+    let bytes = std::fs::read(path).with_ctx(|| format!("reading {}", path.display()))?;
+    if bytes.len() < 8 {
+        return Err(PebError::corrupt(format!(
+            "{}: file too short ({} bytes) to be a PEB dataset cache",
+            path.display(),
+            bytes.len()
+        )));
     }
-    let grid = read_grid(&mut r)?;
-    let n_train = read_u64(&mut r)? as usize;
-    let mut train = Vec::with_capacity(n_train);
-    for _ in 0..n_train {
-        train.push(read_sample(&mut r)?);
+    let (version, crc_ok, body): (u32, Option<bool>, &[u8]) = if bytes.starts_with(MAGIC_V3) {
+        if bytes.len() < 12 {
+            return Err(PebError::corrupt(format!(
+                "{}: v3 file too short for its checksum footer",
+                path.display()
+            )));
+        }
+        let payload_end = bytes.len() - 4;
+        let stored = u32::from_le_bytes([
+            bytes[payload_end],
+            bytes[payload_end + 1],
+            bytes[payload_end + 2],
+            bytes[payload_end + 3],
+        ]);
+        let ok = crc32(&bytes[..payload_end]) == stored;
+        if strict && !ok {
+            return Err(PebError::corrupt(format!(
+                "{}: CRC-32 mismatch (stored {stored:#010x})",
+                path.display()
+            )));
+        }
+        (3, Some(ok), &bytes[8..payload_end])
+    } else if bytes.starts_with(MAGIC_V2) {
+        (2, None, &bytes[8..])
+    } else {
+        return Err(PebError::corrupt(format!(
+            "{}: not a PEB dataset cache (bad magic)",
+            path.display()
+        )));
+    };
+
+    let mut r = body;
+    // The grid and split lengths are non-negotiable even leniently.
+    let grid = read_grid(&mut r)
+        .map_err(PebError::from)
+        .ctx("decoding dataset grid")?;
+    let mut report = LoadReport {
+        version,
+        crc_ok,
+        quarantined: Vec::new(),
+        lost: 0,
+    };
+    let train = read_split(&mut r, Split::Train, strict, &mut report)?;
+    // A corrupt train split loses the stream position; the test split is
+    // unreachable then and read_split already accounted for it.
+    let test = if report.quarantined.is_empty() {
+        read_split(&mut r, Split::Test, strict, &mut report)?
+    } else {
+        Vec::new()
+    };
+    Ok((Dataset { grid, train, test }, report))
+}
+
+/// Reads one length-prefixed sample list, quarantining the corrupt tail
+/// when `strict` is false.
+fn read_split(
+    r: &mut &[u8],
+    split: Split,
+    strict: bool,
+    report: &mut LoadReport,
+) -> Result<Vec<Sample>, PebError> {
+    let declared = match read_u64(r) {
+        Ok(n) => n as usize,
+        Err(e) if strict => {
+            return Err(PebError::from(e).context(format!("reading {split} split length")))
+        }
+        Err(e) => {
+            report.quarantined.push(SampleIssue {
+                split,
+                index: 0,
+                detail: format!("split length unreadable: {e}"),
+            });
+            return Ok(Vec::new());
+        }
+    };
+    if declared > 1 << 24 {
+        return Err(PebError::corrupt(format!(
+            "{split} split declares {declared} samples — implausible, refusing"
+        )));
     }
-    let n_test = read_u64(&mut r)? as usize;
-    let mut test = Vec::with_capacity(n_test);
-    for _ in 0..n_test {
-        test.push(read_sample(&mut r)?);
+    let mut out = Vec::with_capacity(declared.min(1024));
+    for i in 0..declared {
+        match read_sample(r) {
+            Ok(s) => out.push(s),
+            Err(e) if strict => {
+                return Err(PebError::from(e).context(format!("decoding {split} sample {i}")))
+            }
+            Err(e) => {
+                // Streaming codec: sync is gone, everything after this
+                // sample is unrecoverable. Quarantine the tail.
+                report.quarantined.push(SampleIssue {
+                    split,
+                    index: i,
+                    detail: e.to_string(),
+                });
+                report.lost += declared - i;
+                *r = &[];
+                break;
+            }
+        }
     }
-    Ok(Dataset { grid, train, test })
+    Ok(out)
 }
 
 // --- primitive codecs -----------------------------------------------------
@@ -168,6 +350,19 @@ fn style_from(code: u64) -> io::Result<ClipStyle> {
     })
 }
 
+fn write_body(w: &mut impl Write, ds: &Dataset) -> io::Result<()> {
+    write_grid(w, &ds.grid)?;
+    write_u64(w, ds.train.len() as u64)?;
+    for s in &ds.train {
+        write_sample(w, s)?;
+    }
+    write_u64(w, ds.test.len() as u64)?;
+    for s in &ds.test {
+        write_sample(w, s)?;
+    }
+    Ok(())
+}
+
 fn write_sample(w: &mut impl Write, s: &Sample) -> io::Result<()> {
     // Clip.
     write_tensor(w, &s.clip.pattern)?;
@@ -198,6 +393,12 @@ fn write_sample(w: &mut impl Write, s: &Sample) -> io::Result<()> {
 fn read_sample(r: &mut impl Read) -> io::Result<Sample> {
     let pattern = read_tensor(r)?;
     let n_contacts = read_u64(r)? as usize;
+    if n_contacts > 1 << 20 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "too many contacts",
+        ));
+    }
     let mut contacts = Vec::with_capacity(n_contacts);
     for _ in 0..n_contacts {
         contacts.push(Contact {
@@ -213,6 +414,9 @@ fn read_sample(r: &mut impl Read) -> io::Result<Sample> {
     let inhibitor = read_tensor(r)?;
     let label = read_tensor(r)?;
     let n_cds = read_u64(r)? as usize;
+    if n_cds > 1 << 20 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "too many CDs"));
+    }
     let mut cds = Vec::with_capacity(n_cds);
     for _ in 0..n_cds {
         cds.push(ContactCd {
@@ -238,25 +442,80 @@ fn read_sample(r: &mut impl Read) -> io::Result<Sample> {
     })
 }
 
+/// Saves a flat list of tensors (e.g. model parameters in
+/// `Parameterized::parameters()` order) to `path`, atomically.
+///
+/// # Errors
+///
+/// Returns [`PebError::Io`] for any underlying I/O failure.
+pub fn save_tensors(tensors: &[Tensor], path: &Path) -> Result<(), PebError> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(TENSOR_MAGIC);
+    write_u64(&mut buf, tensors.len() as u64).map_err(PebError::from)?;
+    for t in tensors {
+        write_tensor(&mut buf, t).map_err(PebError::from)?;
+    }
+    peb_guard::atomic_write(path, &buf)
+        .with_ctx(|| format!("saving tensor bundle to {}", path.display()))
+}
+
+/// Loads a flat list of tensors written by [`save_tensors`].
+///
+/// # Errors
+///
+/// [`PebError::Corrupt`] for format mismatches, [`PebError::Io`] for
+/// underlying I/O errors.
+pub fn load_tensors(path: &Path) -> Result<Vec<Tensor>, PebError> {
+    let bytes = std::fs::read(path).with_ctx(|| format!("reading {}", path.display()))?;
+    if !bytes.starts_with(TENSOR_MAGIC) {
+        return Err(PebError::corrupt(format!(
+            "{}: not a PEB tensor bundle",
+            path.display()
+        )));
+    }
+    let mut r = &bytes[8..];
+    let n = read_u64(&mut r).map_err(PebError::from)? as usize;
+    if n > 1 << 20 {
+        return Err(PebError::corrupt("too many tensors"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(
+            read_tensor(&mut r)
+                .map_err(PebError::from)
+                .with_ctx(|| format!("decoding tensor {i} of {}", path.display()))?,
+        );
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dataset::DatasetConfig;
 
-    #[test]
-    fn roundtrip_preserves_dataset() {
+    fn tiny_dataset(seed: u64) -> Dataset {
         let mut grid = Grid::small();
         grid.nz = 3;
-        let mut cfg = DatasetConfig::for_grid(grid, 1, 1);
-        cfg.seed = 5;
-        let ds = Dataset::generate(&cfg).unwrap();
+        let mut cfg = DatasetConfig::for_grid(grid, 2, 1);
+        cfg.seed = seed;
+        Dataset::generate(&cfg).expect("dataset generation")
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("peb_data_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("roundtrip.bin");
-        save_dataset(&ds, &path).unwrap();
-        let loaded = load_dataset(&path).unwrap();
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let ds = tiny_dataset(5);
+        let path = temp_path("roundtrip.bin");
+        save_dataset(&ds, &path).expect("save");
+        let loaded = load_dataset(&path).expect("load");
         assert_eq!(loaded.grid, ds.grid);
-        assert_eq!(loaded.train.len(), 1);
+        assert_eq!(loaded.train.len(), 2);
         assert_eq!(loaded.train[0].acid0, ds.train[0].acid0);
         assert_eq!(loaded.train[0].label, ds.train[0].label);
         assert_eq!(loaded.train[0].clip, ds.train[0].clip);
@@ -265,71 +524,98 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v2_files_still_load() {
+        let ds = tiny_dataset(6);
+        let path = temp_path("legacy_v2.bin");
+        // Write the old format by hand: v2 magic + body, no footer.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC_V2);
+        write_body(&mut buf, &ds).expect("serialize");
+        std::fs::write(&path, &buf).expect("write");
+        let (loaded, report) = load_dataset_lenient(&path).expect("legacy load");
+        assert_eq!(report.version, 2);
+        assert_eq!(report.crc_ok, None);
+        assert!(report.clean());
+        assert_eq!(loaded.train[0].acid0, ds.train[0].acid0);
+        assert!(load_dataset(&path).is_ok(), "strict must accept v2 too");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn rejects_wrong_magic() {
-        let dir = std::env::temp_dir().join("peb_data_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("bad_magic.bin");
-        std::fs::write(&path, b"NOTDATA!extra").unwrap();
-        let err = load_dataset(&path).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let path = temp_path("bad_magic.bin");
+        std::fs::write(&path, b"NOTDATA!extra").expect("write");
+        let err = load_dataset(&path).expect_err("must reject");
+        assert!(err.is_corrupt(), "{err}");
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn rejects_truncated_file() {
-        let dir = std::env::temp_dir().join("peb_data_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("truncated.bin");
-        std::fs::write(&path, MAGIC).unwrap();
-        assert!(load_dataset(&path).is_err());
+        let path = temp_path("truncated.bin");
+        std::fs::write(&path, MAGIC_V3).expect("write");
+        let err = load_dataset(&path).expect_err("must reject");
+        assert!(err.is_corrupt(), "{err}");
         std::fs::remove_file(&path).ok();
     }
-}
 
-/// Saves a flat list of tensors (e.g. model parameters in
-/// `Parameterized::parameters()` order) to `path`.
-///
-/// # Errors
-///
-/// Returns any underlying I/O error.
-pub fn save_tensors(tensors: &[Tensor], path: &Path) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(b"PEBTENS1")?;
-    write_u64(&mut w, tensors.len() as u64)?;
-    for t in tensors {
-        write_tensor(&mut w, t)?;
+    #[test]
+    fn strict_load_detects_single_bit_flip() {
+        let ds = tiny_dataset(7);
+        let path = temp_path("bitflip.bin");
+        save_dataset(&ds, &path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let err = load_dataset(&path).expect_err("flip must be caught");
+        assert!(err.is_corrupt(), "{err}");
     }
-    w.flush()
-}
 
-/// Loads a flat list of tensors written by [`save_tensors`].
-///
-/// # Errors
-///
-/// Returns `InvalidData` for format mismatches or any underlying I/O
-/// error.
-pub fn load_tensors(path: &Path) -> io::Result<Vec<Tensor>> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != b"PEBTENS1" {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a PEB tensor bundle",
-        ));
+    #[test]
+    fn lenient_load_quarantines_corrupt_tail() {
+        let ds = tiny_dataset(8);
+        let path = temp_path("quarantine.bin");
+        save_dataset(&ds, &path).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        // Truncate inside the last sample (drop the footer plus a chunk
+        // of the final test sample).
+        let cut = bytes.len() - bytes.len() / 4;
+        std::fs::write(&path, &bytes[..cut]).expect("truncate");
+        // The truncated file has no valid v3 footer → strict load fails…
+        assert!(load_dataset(&path).is_err());
+        // …but the lenient load recovers the intact prefix.
+        let (loaded, report) = load_dataset_lenient(&path).expect("lenient load");
+        assert_eq!(report.crc_ok, Some(false));
+        assert!(!report.clean());
+        assert!(!report.quarantined.is_empty());
+        assert!(report.lost >= 1);
+        assert_eq!(loaded.grid, ds.grid);
+        let recovered = loaded.train.len() + loaded.test.len();
+        assert!(
+            recovered < ds.train.len() + ds.test.len(),
+            "something must have been dropped"
+        );
+        for (got, want) in loaded.train.iter().zip(&ds.train) {
+            assert_eq!(got.acid0, want.acid0, "recovered prefix must be intact");
+        }
+        std::fs::remove_file(&path).ok();
     }
-    let n = read_u64(&mut r)? as usize;
-    if n > 1 << 20 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "too many tensors",
-        ));
+
+    #[test]
+    fn save_is_atomic_no_temp_left_behind() {
+        let ds = tiny_dataset(9);
+        let path = temp_path("atomic.bin");
+        save_dataset(&ds, &path).expect("save");
+        let dir = path.parent().expect("parent");
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
     }
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        out.push(read_tensor(&mut r)?);
-    }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -339,16 +625,27 @@ mod tensor_bundle_tests {
     #[test]
     fn tensor_bundle_roundtrip() {
         let dir = std::env::temp_dir().join("peb_data_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).expect("create temp dir");
         let path = dir.join("bundle.bin");
         let tensors = vec![
             Tensor::from_fn(&[2, 3], |i| i as f32),
             Tensor::scalar(7.5),
             Tensor::zeros(&[4]),
         ];
-        save_tensors(&tensors, &path).unwrap();
-        let loaded = load_tensors(&path).unwrap();
+        save_tensors(&tensors, &path).expect("save");
+        let loaded = load_tensors(&path).expect("load");
         assert_eq!(loaded, tensors);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tensor_bundle_rejects_bad_magic() {
+        let dir = std::env::temp_dir().join("peb_data_io_test");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("bundle_bad.bin");
+        std::fs::write(&path, b"PEBWRONGxxxx").expect("write");
+        let err = load_tensors(&path).expect_err("must reject");
+        assert!(err.is_corrupt(), "{err}");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -16,6 +16,9 @@ mod scale;
 mod stats;
 
 pub use dataset::{augment_with_flips, Dataset, DatasetConfig, LabelStats, Sample};
-pub use io::{load_dataset, load_tensors, save_dataset, save_tensors};
+pub use io::{
+    load_dataset, load_dataset_lenient, load_dataset_with, load_tensors, save_dataset,
+    save_tensors, LoadReport, SampleIssue, Split,
+};
 pub use scale::ExperimentScale;
 pub use stats::{value_histogram, HISTOGRAM_BIN_LABELS};

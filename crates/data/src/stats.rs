@@ -61,7 +61,7 @@ mod tests {
 
     #[test]
     fn out_of_range_values_clamp() {
-        let t = Tensor::from_vec(vec![-0.5, 1.5], &[2]).unwrap();
+        let t = Tensor::from_vec(vec![-0.5, 1.5], &[2]).expect("test value");
         let h = value_histogram([&t]);
         assert_eq!(h[0], 0.5);
         assert_eq!(h[9], 0.5);

@@ -1,0 +1,314 @@
+//! Deterministic fault injection (`PEB_CHAOS`).
+//!
+//! The harness arms at most **one** fault per process, either from the
+//! `PEB_CHAOS` environment variable (latched on first probe, exactly like
+//! `PEB_TRACE`/`PEB_SIMD`) or programmatically via [`arm`] in tests. Every
+//! fault is *one-shot*: the first site that matches consumes it, so an
+//! injected NaN spike diverges one epoch, the rollback retries, and the
+//! retry runs clean — which is precisely the recovery path under test.
+//!
+//! | `PEB_CHAOS` | fault |
+//! |-------------|-------|
+//! | `nan-spike[:EPOCH]` | poison the model parameters right after the first optimiser step of `EPOCH` (default 1), as an undetected numeric blow-up |
+//! | `truncate-ckpt[:BYTES]` | after the next checkpoint write, truncate the file by `BYTES` (default 16) bytes |
+//! | `bitflip-ckpt[:BYTE]` | after the next checkpoint write, flip one bit at offset `BYTE` (default the payload midpoint) |
+//! | `kill[:EPOCH]` | abort the run with [`PebError::Injected`] right after the checkpoint of `EPOCH` (default 1) is written — the resume test then continues from disk |
+//! | `truncate-data[:BYTES]` | after the next dataset write, truncate the file by `BYTES` (default 64) bytes |
+//!
+//! Production builds never consult this module unless `PEB_CHAOS` is set;
+//! the disarmed fast path is one mutex-free atomic load.
+
+use std::fs::OpenOptions;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// An armed fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Chaos {
+    /// Poison parameters after the first optimiser step of `epoch`.
+    NanSpike {
+        /// 0-based epoch to poison.
+        epoch: u64,
+    },
+    /// Truncate the next written checkpoint file by `bytes`.
+    TruncateCkpt {
+        /// Bytes to cut from the tail.
+        bytes: u64,
+    },
+    /// Flip one bit of the next written checkpoint file.
+    BitflipCkpt {
+        /// Byte offset to flip (`None` → payload midpoint).
+        byte: Option<u64>,
+    },
+    /// Return [`crate::PebError::Injected`] after the checkpoint of
+    /// `epoch` is written.
+    Kill {
+        /// 0-based epoch after whose checkpoint the run dies.
+        epoch: u64,
+    },
+    /// Truncate the next written dataset file by `bytes`.
+    TruncateData {
+        /// Bytes to cut from the tail.
+        bytes: u64,
+    },
+}
+
+/// Fast disarm flag: `false` ⇒ nothing armed, probes return immediately.
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// Whether `PEB_CHAOS` has been latched; until then probes must take the
+/// slow path so an env-armed fault can set [`ARMED`].
+static INIT: AtomicBool = AtomicBool::new(false);
+/// Lazily initialised armed fault (None after consumption/disarm).
+static STATE: Mutex<ChaosState> = Mutex::new(ChaosState::Uninit);
+
+/// Cheap probe gate: after the env latch has run, a plain atomic load;
+/// before it, fall through to [`state`] so the latch happens.
+fn probe() -> bool {
+    if !INIT.load(Ordering::Acquire) {
+        drop(state());
+    }
+    ARMED.load(Ordering::Relaxed)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ChaosState {
+    /// `PEB_CHAOS` not read yet.
+    Uninit,
+    /// A fault is armed and unconsumed.
+    Armed(Chaos),
+    /// Nothing armed (unset/consumed/cleared).
+    Disarmed,
+}
+
+fn state() -> std::sync::MutexGuard<'static, ChaosState> {
+    let mut s = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    if *s == ChaosState::Uninit {
+        *s = match std::env::var("PEB_CHAOS").ok().and_then(|v| parse(&v)) {
+            Some(c) => {
+                ARMED.store(true, Ordering::Relaxed);
+                ChaosState::Armed(c)
+            }
+            None => ChaosState::Disarmed,
+        };
+        INIT.store(true, Ordering::Release);
+    }
+    s
+}
+
+/// Parses a `PEB_CHAOS` spec; `None` for unrecognised input.
+pub fn parse(spec: &str) -> Option<Chaos> {
+    let mut parts = spec.split(':');
+    let head = parts.next()?;
+    let arg = parts.next().and_then(|v| v.parse::<u64>().ok());
+    match head {
+        "nan-spike" => Some(Chaos::NanSpike {
+            epoch: arg.unwrap_or(1),
+        }),
+        "truncate-ckpt" => Some(Chaos::TruncateCkpt {
+            bytes: arg.unwrap_or(16),
+        }),
+        "bitflip-ckpt" => Some(Chaos::BitflipCkpt { byte: arg }),
+        // The CI matrix name for the kill/resume scenario.
+        "kill" | "kill-resume" => Some(Chaos::Kill {
+            epoch: arg.unwrap_or(1),
+        }),
+        "truncate-data" => Some(Chaos::TruncateData {
+            bytes: arg.unwrap_or(64),
+        }),
+        _ => None,
+    }
+}
+
+/// Arms a fault programmatically (tests), replacing any armed one.
+pub fn arm(c: Chaos) {
+    *state() = ChaosState::Armed(c);
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms without firing.
+pub fn disarm() {
+    *state() = ChaosState::Disarmed;
+    ARMED.store(false, Ordering::Relaxed);
+}
+
+/// The currently armed fault, if any (not consumed by peeking).
+pub fn armed() -> Option<Chaos> {
+    if !probe() {
+        return None;
+    }
+    match &*state() {
+        ChaosState::Armed(c) => Some(c.clone()),
+        _ => None,
+    }
+}
+
+/// Consumes the armed fault when `matches` approves it.
+fn take_if(matches: impl FnOnce(&Chaos) -> bool) -> Option<Chaos> {
+    if !probe() {
+        return None;
+    }
+    let mut s = state();
+    if let ChaosState::Armed(c) = &*s {
+        if matches(c) {
+            let taken = c.clone();
+            *s = ChaosState::Disarmed;
+            ARMED.store(false, Ordering::Relaxed);
+            return Some(taken);
+        }
+    }
+    None
+}
+
+/// True exactly once when a NaN spike is armed for `epoch` — the trainer
+/// responds by poisoning the freshly-updated parameters.
+pub fn take_nan_spike(epoch: u64) -> bool {
+    take_if(|c| matches!(c, Chaos::NanSpike { epoch: e } if *e == epoch)).is_some()
+}
+
+/// True exactly once when a kill is armed for `epoch` (checked after the
+/// epoch's checkpoint lands on disk).
+pub fn take_kill(epoch: u64) -> bool {
+    take_if(|c| matches!(c, Chaos::Kill { epoch: e } if *e == epoch)).is_some()
+}
+
+/// Applies any armed checkpoint-file corruption to `path` (called after
+/// a checkpoint write). Returns `true` when the file was mangled.
+pub fn mangle_checkpoint(path: &Path) -> bool {
+    match take_if(|c| matches!(c, Chaos::TruncateCkpt { .. } | Chaos::BitflipCkpt { .. })) {
+        Some(Chaos::TruncateCkpt { bytes }) => truncate_tail(path, bytes),
+        Some(Chaos::BitflipCkpt { byte }) => flip_bit(path, byte),
+        _ => false,
+    }
+}
+
+/// Applies any armed dataset-file corruption to `path` (called after a
+/// dataset write). Returns `true` when the file was mangled.
+pub fn mangle_dataset(path: &Path) -> bool {
+    match take_if(|c| matches!(c, Chaos::TruncateData { .. })) {
+        Some(Chaos::TruncateData { bytes }) => truncate_tail(path, bytes),
+        _ => false,
+    }
+}
+
+fn truncate_tail(path: &Path, bytes: u64) -> bool {
+    let Ok(meta) = std::fs::metadata(path) else {
+        return false;
+    };
+    let new_len = meta.len().saturating_sub(bytes.max(1));
+    let Ok(f) = OpenOptions::new().write(true).open(path) else {
+        return false;
+    };
+    let ok = f.set_len(new_len).is_ok();
+    if ok {
+        eprintln!(
+            "[peb-chaos] truncated {} by {} bytes (now {new_len})",
+            path.display(),
+            meta.len() - new_len
+        );
+    }
+    ok
+}
+
+fn flip_bit(path: &Path, byte: Option<u64>) -> bool {
+    let Ok(mut f) = OpenOptions::new().read(true).write(true).open(path) else {
+        return false;
+    };
+    let Ok(len) = f.seek(SeekFrom::End(0)) else {
+        return false;
+    };
+    if len == 0 {
+        return false;
+    }
+    let offset = byte.unwrap_or(len / 2).min(len - 1);
+    let mut b = [0u8];
+    if f.seek(SeekFrom::Start(offset)).is_err() || f.read_exact(&mut b).is_err() {
+        return false;
+    }
+    b[0] ^= 0x20;
+    let ok = f.seek(SeekFrom::Start(offset)).is_ok() && f.write_all(&b).is_ok();
+    if ok {
+        eprintln!(
+            "[peb-chaos] flipped bit 5 of byte {offset} in {}",
+            path.display()
+        );
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The armed fault is process-global; serialise the tests.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert_eq!(parse("nan-spike"), Some(Chaos::NanSpike { epoch: 1 }));
+        assert_eq!(parse("nan-spike:3"), Some(Chaos::NanSpike { epoch: 3 }));
+        assert_eq!(
+            parse("truncate-ckpt:9"),
+            Some(Chaos::TruncateCkpt { bytes: 9 })
+        );
+        assert_eq!(
+            parse("bitflip-ckpt"),
+            Some(Chaos::BitflipCkpt { byte: None })
+        );
+        assert_eq!(parse("kill-resume:2"), Some(Chaos::Kill { epoch: 2 }));
+        assert_eq!(parse("kill"), Some(Chaos::Kill { epoch: 1 }));
+        assert_eq!(
+            parse("truncate-data"),
+            Some(Chaos::TruncateData { bytes: 64 })
+        );
+        assert_eq!(parse("meteor-strike"), None);
+    }
+
+    #[test]
+    fn faults_are_one_shot() {
+        let _l = lock();
+        arm(Chaos::NanSpike { epoch: 2 });
+        assert!(!take_nan_spike(1), "wrong epoch must not consume");
+        assert!(take_nan_spike(2));
+        assert!(!take_nan_spike(2), "already consumed");
+        assert_eq!(armed(), None);
+        disarm();
+    }
+
+    #[test]
+    fn mangle_truncates_files() {
+        let _l = lock();
+        let path = std::env::temp_dir().join(format!("peb_chaos_trunc_{}", std::process::id()));
+        std::fs::write(&path, vec![0xABu8; 100]).expect("write");
+        arm(Chaos::TruncateCkpt { bytes: 30 });
+        assert!(mangle_checkpoint(&path));
+        assert_eq!(std::fs::metadata(&path).expect("meta").len(), 70);
+        // Consumed: a second write stays intact.
+        assert!(!mangle_checkpoint(&path));
+        std::fs::remove_file(&path).ok();
+        disarm();
+    }
+
+    #[test]
+    fn mangle_flips_exactly_one_bit() {
+        let _l = lock();
+        let path = std::env::temp_dir().join(format!("peb_chaos_flip_{}", std::process::id()));
+        let original = vec![0u8; 64];
+        std::fs::write(&path, &original).expect("write");
+        arm(Chaos::BitflipCkpt { byte: Some(10) });
+        assert!(mangle_checkpoint(&path));
+        let mangled = std::fs::read(&path).expect("read");
+        let diff: u32 = original
+            .iter()
+            .zip(&mangled)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+        std::fs::remove_file(&path).ok();
+        disarm();
+    }
+}

@@ -1,0 +1,645 @@
+//! Versioned, CRC-checked, atomically-written training checkpoints.
+//!
+//! # Wire format (`PEBCKPT1`, version 1, little-endian)
+//!
+//! | field | encoding |
+//! |-------|----------|
+//! | magic | 8 bytes `"PEBCKPT1"` |
+//! | version | `u32` (currently 1) |
+//! | epoch | `u64` — epochs *completed* when this state was captured |
+//! | seed | `u64` — the shuffle seed of the run |
+//! | opt_kind | `u32` — 0 = Adam, 1 = SGD |
+//! | opt_t | `u64` — optimiser step counter (Adam bias correction) |
+//! | lr_scale | `f32` — divergence-backoff multiplier in effect |
+//! | rollbacks | `u64` — rollbacks performed so far |
+//! | epoch_stats | `u64` count, then per epoch `f32` mean loss + `u64` skipped batches |
+//! | params | `u64` count, then tensors (rank `u64`, dims `u64`…, data `f32`…) |
+//! | opt_m | `u64` count, then per slot `u8` presence tag + tensor |
+//! | opt_v | same as `opt_m` |
+//! | crc | `u32` CRC-32 (IEEE) of **every** preceding byte, magic included |
+//!
+//! # Atomicity protocol
+//!
+//! [`atomic_write`] stages the full payload in `<name>.tmp.<pid>` in the
+//! destination directory, `fsync`s the file, renames it over the
+//! destination, and `fsync`s the directory. A crash at any point leaves
+//! either the old checkpoint or the new one — never a torn file — and a
+//! torn *write* that does land (e.g. chaos-injected truncation or bit
+//! flips) is caught by the CRC on load and reported as
+//! [`PebError::Corrupt`], at which point resume falls back to the
+//! previous retained checkpoint.
+
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use peb_tensor::Tensor;
+
+use crate::error::{Context, PebError, Result};
+
+const MAGIC: &[u8; 8] = b"PEBCKPT1";
+const VERSION: u32 = 1;
+
+/// Optimiser family stored in a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptKind {
+    /// Adam: `opt_m`/`opt_v` hold first/second moments, `opt_t` the step.
+    Adam,
+    /// SGD: `opt_m` holds the momentum velocity, `opt_v` is empty.
+    Sgd,
+}
+
+impl OptKind {
+    fn code(self) -> u32 {
+        match self {
+            OptKind::Adam => 0,
+            OptKind::Sgd => 1,
+        }
+    }
+
+    fn from_code(c: u32) -> Result<Self> {
+        match c {
+            0 => Ok(OptKind::Adam),
+            1 => Ok(OptKind::Sgd),
+            other => Err(PebError::corrupt(format!("unknown optimiser kind {other}"))),
+        }
+    }
+}
+
+/// Per-epoch bookkeeping persisted with the weights so a resumed run
+/// reports the same history as an uninterrupted one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// Mean combined loss over the epoch.
+    pub mean_loss: f32,
+    /// Micro-batches dropped by the non-finite guard.
+    pub skipped_batches: u64,
+}
+
+/// Full training state at an epoch boundary.
+///
+/// Restoring every field reproduces the uninterrupted trajectory
+/// *bitwise*: weights and moments round-trip exactly (f32 ↔ LE bytes is
+/// lossless), and the shuffle RNG is reconstructed by replaying `epoch`
+/// shuffles from `seed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Epochs completed.
+    pub epoch: u64,
+    /// Shuffle seed of the run (resume replays the RNG stream).
+    pub seed: u64,
+    /// Optimiser family.
+    pub opt_kind: OptKind,
+    /// Optimiser step counter.
+    pub opt_t: u64,
+    /// Divergence-backoff LR multiplier in effect.
+    pub lr_scale: f32,
+    /// Rollbacks performed so far.
+    pub rollbacks: u64,
+    /// Per-epoch history up to `epoch`.
+    pub epoch_stats: Vec<EpochRecord>,
+    /// Model parameters in `Parameterized::parameters()` order.
+    pub params: Vec<Tensor>,
+    /// First moments (Adam) or velocity (SGD), per parameter; `None` for
+    /// parameters the optimiser has not touched yet.
+    pub opt_m: Vec<Option<Tensor>>,
+    /// Second moments (Adam only), per parameter.
+    pub opt_v: Vec<Option<Tensor>>,
+}
+
+impl TrainCheckpoint {
+    /// Serialises and atomically writes the checkpoint to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PebError::Io`] when staging, syncing or renaming fails.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let _span = peb_obs::span("guard.checkpoint.save");
+        let bytes = self.to_bytes();
+        atomic_write(path, &bytes).with_ctx(|| format!("writing checkpoint {}", path.display()))?;
+        peb_obs::count(peb_obs::Counter::GuardCheckpoints, 1);
+        Ok(())
+    }
+
+    /// Loads and CRC-validates a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`PebError::Io`] when the file cannot be read, [`PebError::Corrupt`]
+    /// on bad magic, version, checksum, or an undecodable payload.
+    pub fn load(path: &Path) -> Result<Self> {
+        let _span = peb_obs::span("guard.checkpoint.load");
+        let bytes = fs::read(path).with_ctx(|| format!("reading checkpoint {}", path.display()))?;
+        Self::from_bytes(&bytes).with_ctx(|| format!("decoding checkpoint {}", path.display()))
+    }
+
+    /// Serialises to the wire format (CRC footer included).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w =
+            Vec::with_capacity(1024 + 4 * self.params.iter().map(Tensor::len).sum::<usize>());
+        w.extend_from_slice(MAGIC);
+        put_u32(&mut w, VERSION);
+        put_u64(&mut w, self.epoch);
+        put_u64(&mut w, self.seed);
+        put_u32(&mut w, self.opt_kind.code());
+        put_u64(&mut w, self.opt_t);
+        put_f32(&mut w, self.lr_scale);
+        put_u64(&mut w, self.rollbacks);
+        put_u64(&mut w, self.epoch_stats.len() as u64);
+        for s in &self.epoch_stats {
+            put_f32(&mut w, s.mean_loss);
+            put_u64(&mut w, s.skipped_batches);
+        }
+        put_u64(&mut w, self.params.len() as u64);
+        for t in &self.params {
+            put_tensor(&mut w, t);
+        }
+        put_opt_tensors(&mut w, &self.opt_m);
+        put_opt_tensors(&mut w, &self.opt_v);
+        let crc = crc32(&w);
+        put_u32(&mut w, crc);
+        w
+    }
+
+    /// Decodes the wire format, validating magic, version and CRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PebError::Corrupt`] describing the first violated field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(PebError::corrupt(format!(
+                "checkpoint too short ({} bytes)",
+                bytes.len()
+            )));
+        }
+        let (payload, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        if &payload[..8] != MAGIC {
+            return Err(PebError::corrupt("bad checkpoint magic"));
+        }
+        let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err(PebError::corrupt(format!(
+                "crc mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        let mut r = Cursor {
+            bytes: payload,
+            pos: 8,
+        };
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(PebError::corrupt(format!(
+                "unsupported checkpoint version {version} (expected {VERSION})"
+            )));
+        }
+        let epoch = r.u64()?;
+        let seed = r.u64()?;
+        let opt_kind = OptKind::from_code(r.u32()?)?;
+        let opt_t = r.u64()?;
+        let lr_scale = r.f32()?;
+        let rollbacks = r.u64()?;
+        let n_stats = r.len("epoch stats", 1 << 24)?;
+        let mut epoch_stats = Vec::with_capacity(n_stats);
+        for _ in 0..n_stats {
+            epoch_stats.push(EpochRecord {
+                mean_loss: r.f32()?,
+                skipped_batches: r.u64()?,
+            });
+        }
+        let n_params = r.len("parameters", 1 << 20)?;
+        let mut params = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            params.push(r.tensor()?);
+        }
+        let opt_m = r.opt_tensors()?;
+        let opt_v = r.opt_tensors()?;
+        if r.pos != payload.len() {
+            return Err(PebError::corrupt(format!(
+                "{} trailing bytes after checkpoint payload",
+                payload.len() - r.pos
+            )));
+        }
+        Ok(TrainCheckpoint {
+            epoch,
+            seed,
+            opt_kind,
+            opt_t,
+            lr_scale,
+            rollbacks,
+            epoch_stats,
+            params,
+            opt_m,
+            opt_v,
+        })
+    }
+}
+
+// --- checkpoint directory management ---------------------------------------
+
+/// File name for the checkpoint written after `epoch` completed epochs.
+pub fn checkpoint_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("ckpt-{epoch:06}.bin"))
+}
+
+/// Epoch numbers of all checkpoint files in `dir`, descending (newest
+/// first). Unreadable directory entries and foreign files are ignored.
+pub fn list_checkpoints(dir: &Path) -> Vec<u64> {
+    let mut epochs: Vec<u64> = fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    let name = e.file_name();
+                    let name = name.to_str()?;
+                    let stem = name.strip_prefix("ckpt-")?.strip_suffix(".bin")?;
+                    stem.parse::<u64>().ok()
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    epochs.sort_unstable_by(|a, b| b.cmp(a));
+    epochs
+}
+
+/// Loads the newest checkpoint in `dir` that passes validation, skipping
+/// (and reporting to stderr) corrupt ones — the on-disk half of the
+/// rollback story: a torn or chaos-mangled latest file degrades to the
+/// previous good epoch instead of killing the run.
+///
+/// Returns `Ok(None)` when the directory holds no checkpoint files at
+/// all.
+///
+/// # Errors
+///
+/// Returns the *last* decode error when checkpoint files exist but none
+/// validates.
+pub fn load_latest(dir: &Path) -> Result<Option<TrainCheckpoint>> {
+    let epochs = list_checkpoints(dir);
+    if epochs.is_empty() {
+        return Ok(None);
+    }
+    let mut last_err = None;
+    for epoch in &epochs {
+        let path = checkpoint_path(dir, *epoch);
+        match TrainCheckpoint::load(&path) {
+            Ok(ckpt) => return Ok(Some(ckpt)),
+            Err(e) => {
+                eprintln!(
+                    "[peb-guard] skipping unreadable checkpoint {}: {e}",
+                    path.display()
+                );
+                last_err = Some(e);
+            }
+        }
+    }
+    match last_err {
+        Some(e) => Err(e.context(format!(
+            "no valid checkpoint among {} candidate(s) in {}",
+            epochs.len(),
+            dir.display()
+        ))),
+        // Unreachable (`epochs` non-empty means the loop either returned
+        // or set `last_err`), but a typed error beats a panic here too.
+        None => Err(PebError::corrupt("checkpoint scan inconsistency")),
+    }
+}
+
+/// Deletes all but the newest `keep` checkpoints in `dir`. Best-effort:
+/// removal failures are ignored (the next prune retries).
+pub fn prune_checkpoints(dir: &Path, keep: usize) {
+    for epoch in list_checkpoints(dir).into_iter().skip(keep) {
+        let _ = fs::remove_file(checkpoint_path(dir, epoch));
+    }
+}
+
+// --- atomic write ----------------------------------------------------------
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// `fsync`, rename over the destination, `fsync` the directory.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error; on failure the destination is
+/// untouched (the stale temp file is removed best-effort).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("checkpoint");
+    let tmp = match dir {
+        Some(d) => d.join(format!(".{file_name}.tmp.{}", std::process::id())),
+        None => PathBuf::from(format!(".{file_name}.tmp.{}", std::process::id())),
+    };
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        if let Some(d) = dir {
+            // Persist the rename itself; ignore platforms/filesystems
+            // where directories cannot be opened for sync.
+            if let Ok(dirf) = File::open(d) {
+                let _ = dirf.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+// --- CRC-32 (IEEE 802.3, reflected) ----------------------------------------
+
+/// CRC-32 lookup table for the reflected IEEE polynomial `0xEDB88320`.
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE; the zlib/PNG variant) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// --- primitive codecs -------------------------------------------------------
+
+fn put_u32(w: &mut Vec<u8>, v: u32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(w: &mut Vec<u8>, v: u64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(w: &mut Vec<u8>, v: f32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_tensor(w: &mut Vec<u8>, t: &Tensor) {
+    put_u64(w, t.rank() as u64);
+    for &d in t.shape() {
+        put_u64(w, d as u64);
+    }
+    for &v in t.data() {
+        put_f32(w, v);
+    }
+}
+
+fn put_opt_tensors(w: &mut Vec<u8>, slots: &[Option<Tensor>]) {
+    put_u64(w, slots.len() as u64);
+    for slot in slots {
+        match slot {
+            Some(t) => {
+                w.push(1);
+                put_tensor(w, t);
+            }
+            None => w.push(0),
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(PebError::corrupt(format!(
+                "truncated checkpoint: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f32(&mut self) -> Result<f32> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn len(&mut self, what: &str, max: usize) -> Result<usize> {
+        let n = self.u64()? as usize;
+        if n > max {
+            return Err(PebError::corrupt(format!(
+                "implausible {what} count {n} (max {max})"
+            )));
+        }
+        Ok(n)
+    }
+
+    fn tensor(&mut self) -> Result<Tensor> {
+        let rank = self.len("tensor rank", 8)?;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(self.len("tensor dim", 1 << 30)?);
+        }
+        let n: usize = shape.iter().product();
+        if n > 1 << 30 {
+            return Err(PebError::corrupt(format!("implausible tensor size {n}")));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(self.f32()?);
+        }
+        Ok(Tensor::from_vec(data, &shape)?)
+    }
+
+    fn opt_tensors(&mut self) -> Result<Vec<Option<Tensor>>> {
+        let n = self.len("optimiser slots", 1 << 20)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(match self.u8()? {
+                0 => None,
+                1 => Some(self.tensor()?),
+                tag => return Err(PebError::corrupt(format!("bad optimiser slot tag {tag}"))),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> TrainCheckpoint {
+        TrainCheckpoint {
+            epoch: 3,
+            seed: 20250705,
+            opt_kind: OptKind::Adam,
+            opt_t: 12,
+            lr_scale: 0.5,
+            rollbacks: 1,
+            epoch_stats: vec![
+                EpochRecord {
+                    mean_loss: 1.25,
+                    skipped_batches: 0,
+                },
+                EpochRecord {
+                    mean_loss: 0.75,
+                    skipped_batches: 2,
+                },
+            ],
+            params: vec![
+                Tensor::from_fn(&[2, 3], |i| i as f32 - 2.5),
+                Tensor::scalar(-0.0),
+            ],
+            opt_m: vec![Some(Tensor::full(&[2, 3], 1e-9)), None],
+            opt_v: vec![Some(Tensor::full(&[2, 3], f32::MIN_POSITIVE)), None],
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let ckpt = sample_checkpoint();
+        let decoded = TrainCheckpoint::from_bytes(&ckpt.to_bytes()).expect("roundtrip decodes");
+        assert_eq!(decoded.epoch, ckpt.epoch);
+        assert_eq!(decoded.opt_kind, ckpt.opt_kind);
+        assert_eq!(decoded.lr_scale.to_bits(), ckpt.lr_scale.to_bits());
+        for (a, b) in decoded.params.iter().zip(&ckpt.params) {
+            assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(decoded.opt_m, ckpt.opt_m);
+        assert_eq!(decoded.opt_v, ckpt.opt_v);
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected() {
+        let bytes = sample_checkpoint().to_bytes();
+        for probe in [8usize, bytes.len() / 2, bytes.len() - 5] {
+            let mut mangled = bytes.clone();
+            mangled[probe] ^= 0x10;
+            let err = TrainCheckpoint::from_bytes(&mangled).expect_err("bit flip must not decode");
+            assert!(
+                err.is_corrupt(),
+                "wrong class for flipped byte {probe}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample_checkpoint().to_bytes();
+        for cut in [0usize, 7, 12, bytes.len() - 1] {
+            let err =
+                TrainCheckpoint::from_bytes(&bytes[..cut]).expect_err("truncation must not decode");
+            assert!(err.is_corrupt(), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn atomic_write_then_load_and_prune() {
+        let dir = std::env::temp_dir().join(format!("peb_guard_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = sample_checkpoint();
+        for epoch in 1..=4u64 {
+            let mut c = ckpt.clone();
+            c.epoch = epoch;
+            c.save(&checkpoint_path(&dir, epoch)).expect("save");
+        }
+        assert_eq!(list_checkpoints(&dir), vec![4, 3, 2, 1]);
+        prune_checkpoints(&dir, 2);
+        assert_eq!(list_checkpoints(&dir), vec![4, 3]);
+        let latest = load_latest(&dir).expect("load").expect("present");
+        assert_eq!(latest.epoch, 4);
+        // No stray temp files.
+        let stray = std::fs::read_dir(&dir)
+            .expect("readdir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(stray, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_latest_falls_back_past_corrupt_newest() {
+        let dir = std::env::temp_dir().join(format!("peb_guard_fallback_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut ckpt = sample_checkpoint();
+        ckpt.epoch = 1;
+        ckpt.save(&checkpoint_path(&dir, 1)).expect("save epoch 1");
+        ckpt.epoch = 2;
+        ckpt.save(&checkpoint_path(&dir, 2)).expect("save epoch 2");
+        // Truncate the newest: resume must degrade to epoch 1.
+        let newest = checkpoint_path(&dir, 2);
+        let bytes = std::fs::read(&newest).expect("read");
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).expect("truncate");
+        let loaded = load_latest(&dir).expect("fallback works").expect("present");
+        assert_eq!(loaded.epoch, 1);
+        // All corrupt → typed error, not a panic.
+        let oldest = checkpoint_path(&dir, 1);
+        std::fs::write(&oldest, b"garbage").expect("mangle");
+        let err = load_latest(&dir).expect_err("all corrupt");
+        assert!(err.is_corrupt());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_dir_is_none() {
+        let dir = std::env::temp_dir().join(format!("peb_guard_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        assert_eq!(load_latest(&dir).expect("ok"), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

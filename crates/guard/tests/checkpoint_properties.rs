@@ -1,0 +1,147 @@
+//! Property tests: checkpoint serialisation is bit-exact (including
+//! non-finite and signed-zero payloads) and corruption never passes the
+//! CRC.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use peb_guard::{EpochRecord, OptKind, PebError, TrainCheckpoint};
+use peb_tensor::Tensor;
+
+/// Random tensor whose payload mixes ordinary values with the IEEE-754
+/// specials a checkpoint must preserve exactly: NaN (several payloads),
+/// ±inf, -0.0, and subnormals.
+fn special_tensor(rng: &mut StdRng) -> Tensor {
+    let rank = rng.gen_range(0..4usize);
+    let shape: Vec<usize> = (0..rank).map(|_| rng.gen_range(1..5usize)).collect();
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n)
+        .map(|_| match rng.gen_range(0..8u32) {
+            0 => f32::NAN,
+            1 => f32::from_bits(0x7fc0_dead), // NaN with payload
+            2 => f32::INFINITY,
+            3 => f32::NEG_INFINITY,
+            4 => -0.0,
+            5 => f32::from_bits(1), // smallest subnormal
+            _ => rng.gen_range(-1e6..1e6),
+        })
+        .collect();
+    Tensor::from_vec(data, &shape).expect("shape/data agree by construction")
+}
+
+fn random_checkpoint(seed: u64) -> TrainCheckpoint {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_params = rng.gen_range(0..5usize);
+    let params: Vec<Tensor> = (0..n_params).map(|_| special_tensor(&mut rng)).collect();
+    let opt_m: Vec<Option<Tensor>> = params
+        .iter()
+        .map(|_| {
+            if rng.gen_range(0..3u32) == 0 {
+                None
+            } else {
+                Some(special_tensor(&mut rng))
+            }
+        })
+        .collect();
+    let opt_v: Vec<Option<Tensor>> = params
+        .iter()
+        .map(|_| {
+            if rng.gen_range(0..3u32) == 0 {
+                None
+            } else {
+                Some(special_tensor(&mut rng))
+            }
+        })
+        .collect();
+    let epochs = rng.gen_range(0..6usize);
+    TrainCheckpoint {
+        epoch: rng.gen_range(0..10_000u64),
+        seed: rng.next_u64(),
+        opt_kind: if rng.gen_range(0..2u32) == 0 {
+            OptKind::Adam
+        } else {
+            OptKind::Sgd
+        },
+        opt_t: rng.next_u64(),
+        lr_scale: f32::from_bits(rng.next_u32()),
+        rollbacks: rng.gen_range(0..100u64),
+        epoch_stats: (0..epochs)
+            .map(|_| EpochRecord {
+                mean_loss: f32::from_bits(rng.next_u32()),
+                skipped_batches: rng.gen_range(0..1000u64),
+            })
+            .collect(),
+        params,
+        opt_m,
+        opt_v,
+    }
+}
+
+fn bits(t: &Tensor) -> (Vec<usize>, Vec<u32>) {
+    (
+        t.shape().to_vec(),
+        t.data().iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+fn opt_bits(t: &Option<Tensor>) -> Option<(Vec<usize>, Vec<u32>)> {
+    t.as_ref().map(bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode reproduces every field bit-for-bit, and encoding
+    /// the decoded value reproduces the exact byte stream.
+    #[test]
+    fn roundtrip_is_bit_exact(seed in 0u64..10_000) {
+        let ckpt = random_checkpoint(seed);
+        let bytes = ckpt.to_bytes();
+        let back = TrainCheckpoint::from_bytes(&bytes).expect("roundtrip decode");
+
+        prop_assert_eq!(back.epoch, ckpt.epoch);
+        prop_assert_eq!(back.seed, ckpt.seed);
+        prop_assert_eq!(back.opt_kind, ckpt.opt_kind);
+        prop_assert_eq!(back.opt_t, ckpt.opt_t);
+        prop_assert_eq!(back.lr_scale.to_bits(), ckpt.lr_scale.to_bits());
+        prop_assert_eq!(back.rollbacks, ckpt.rollbacks);
+        prop_assert_eq!(back.epoch_stats.len(), ckpt.epoch_stats.len());
+        for (a, b) in back.epoch_stats.iter().zip(&ckpt.epoch_stats) {
+            prop_assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits());
+            prop_assert_eq!(a.skipped_batches, b.skipped_batches);
+        }
+        for (a, b) in back.params.iter().zip(&ckpt.params) {
+            prop_assert_eq!(bits(a), bits(b));
+        }
+        for (a, b) in back.opt_m.iter().zip(&ckpt.opt_m) {
+            prop_assert_eq!(opt_bits(a), opt_bits(b));
+        }
+        for (a, b) in back.opt_v.iter().zip(&ckpt.opt_v) {
+            prop_assert_eq!(opt_bits(a), opt_bits(b));
+        }
+        prop_assert_eq!(back.to_bytes(), bytes, "re-encode must be byte-identical");
+    }
+
+    /// Any single corrupted byte is caught — by the CRC footer, or (for
+    /// damage inside the length-bearing header fields) by a decoder
+    /// bounds check. Corruption must never pass silently.
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        seed in 0u64..2_000,
+        victim in 0usize..4096,
+        flip in 1u8..=255,
+    ) {
+        let ckpt = random_checkpoint(seed);
+        let mut bytes = ckpt.to_bytes();
+        let idx = victim % bytes.len();
+        bytes[idx] ^= flip;
+        match TrainCheckpoint::from_bytes(&bytes) {
+            Err(e) => prop_assert!(
+                matches!(e.root(), PebError::Corrupt { .. }),
+                "wrong error class: {}", e
+            ),
+            Ok(_) => prop_assert!(false, "corrupt byte {} accepted", idx),
+        }
+    }
+}

@@ -46,7 +46,7 @@ pub use init::{kaiming_bound, kaiming_uniform, lecun_bound, lecun_uniform};
 pub use linear::Linear;
 pub use mlp::{Mlp, MlpAct};
 pub use norm::LayerNorm;
-pub use optim::{Adam, Optimizer, Sgd, StepDecay};
+pub use optim::{Adam, OptimState, Optimizer, Sgd, StepDecay};
 pub use patch::OverlappedPatchEmbed;
 
 use peb_tensor::Var;

@@ -25,6 +25,24 @@ pub trait Optimizer {
     fn lr(&self) -> f32;
 }
 
+/// Portable snapshot of an optimiser's internal state, keyed by
+/// *parameter order* rather than by runtime [`VarId`] (ids are not stable
+/// across processes, so checkpoints store slots aligned with
+/// `Parameterized::parameters()`).
+///
+/// `None` slots mean the optimiser has not touched that parameter yet;
+/// restoring them leaves the lazy-init behaviour identical to a fresh
+/// run, which is what makes checkpoint/resume bitwise-faithful.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimState {
+    /// Step counter (Adam bias correction; 0 for SGD).
+    pub t: u64,
+    /// First moments (Adam) or momentum velocity (SGD), per parameter.
+    pub m: Vec<Option<Tensor>>,
+    /// Second moments (Adam; empty slots for SGD), per parameter.
+    pub v: Vec<Option<Tensor>>,
+}
+
 /// Plain SGD with optional momentum.
 #[derive(Debug)]
 pub struct Sgd {
@@ -40,6 +58,29 @@ impl Sgd {
             lr,
             momentum,
             velocity: HashMap::new(),
+        }
+    }
+
+    /// Exports the momentum state in `params` order.
+    pub fn export_state(&self, params: &[Var]) -> OptimState {
+        OptimState {
+            t: 0,
+            m: params
+                .iter()
+                .map(|p| self.velocity.get(&p.id()).cloned())
+                .collect(),
+            v: params.iter().map(|_| None).collect(),
+        }
+    }
+
+    /// Restores state exported by [`Sgd::export_state`], re-keying the
+    /// slots onto the current [`VarId`]s of `params`.
+    pub fn restore_state(&mut self, params: &[Var], state: &OptimState) {
+        self.velocity.clear();
+        for (p, slot) in params.iter().zip(&state.m) {
+            if let Some(t) = slot {
+                self.velocity.insert(p.id(), t.clone());
+            }
         }
     }
 }
@@ -101,6 +142,40 @@ impl Adam {
             t: 0,
             m: HashMap::new(),
             v: HashMap::new(),
+        }
+    }
+
+    /// Exports step counter and moments in `params` order.
+    pub fn export_state(&self, params: &[Var]) -> OptimState {
+        OptimState {
+            t: self.t as u64,
+            m: params
+                .iter()
+                .map(|p| self.m.get(&p.id()).cloned())
+                .collect(),
+            v: params
+                .iter()
+                .map(|p| self.v.get(&p.id()).cloned())
+                .collect(),
+        }
+    }
+
+    /// Restores state exported by [`Adam::export_state`], re-keying the
+    /// slots onto the current [`VarId`]s of `params`. The restored
+    /// trajectory is bitwise identical to the exporting run's.
+    pub fn restore_state(&mut self, params: &[Var], state: &OptimState) {
+        self.t = state.t as i32;
+        self.m.clear();
+        self.v.clear();
+        for (p, slot) in params.iter().zip(&state.m) {
+            if let Some(t) = slot {
+                self.m.insert(p.id(), t.clone());
+            }
+        }
+        for (p, slot) in params.iter().zip(&state.v) {
+            if let Some(t) = slot {
+                self.v.insert(p.id(), t.clone());
+            }
         }
     }
 }
@@ -261,6 +336,65 @@ mod tests {
         opt.step(std::slice::from_ref(&p));
         // grad = 3 + 1 = 4 ⇒ new value 2 − 0.4.
         assert!((p.value().item() - 1.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_continues_bitwise() {
+        // Two optimisers: one runs 20 steps straight; the other exports
+        // after 10, restores into a fresh instance, and runs 10 more.
+        // Trajectories must agree to the bit.
+        let run_steps = |p: &Var, opt: &mut Adam, n: usize| {
+            for _ in 0..n {
+                opt.zero_grad(std::slice::from_ref(p));
+                p.square().mean().backward();
+                opt.step(std::slice::from_ref(p));
+            }
+        };
+        let a = Var::parameter(Tensor::from_vec(vec![3.0, -2.0], &[2]).unwrap());
+        let b = Var::parameter(Tensor::from_vec(vec![3.0, -2.0], &[2]).unwrap());
+        let mut opt_a = Adam::new(0.05);
+        let mut opt_b = Adam::new(0.05);
+        run_steps(&a, &mut opt_a, 20);
+        run_steps(&b, &mut opt_b, 10);
+        let state = opt_b.export_state(std::slice::from_ref(&b));
+        let mut resumed = Adam::new(0.05);
+        resumed.restore_state(std::slice::from_ref(&b), &state);
+        run_steps(&b, &mut resumed, 10);
+        for (x, y) in a.value().data().iter().zip(b.value().data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_continues_bitwise() {
+        let run_steps = |p: &Var, opt: &mut Sgd, n: usize| {
+            for _ in 0..n {
+                opt.zero_grad(std::slice::from_ref(p));
+                p.square().backward();
+                opt.step(std::slice::from_ref(p));
+            }
+        };
+        let a = quadratic_param(4.0);
+        let b = quadratic_param(4.0);
+        let mut opt_a = Sgd::new(0.02, 0.9);
+        let mut opt_b = Sgd::new(0.02, 0.9);
+        run_steps(&a, &mut opt_a, 16);
+        run_steps(&b, &mut opt_b, 7);
+        let state = opt_b.export_state(std::slice::from_ref(&b));
+        let mut resumed = Sgd::new(0.02, 0.9);
+        resumed.restore_state(std::slice::from_ref(&b), &state);
+        run_steps(&b, &mut resumed, 9);
+        assert_eq!(a.value().item().to_bits(), b.value().item().to_bits());
+    }
+
+    #[test]
+    fn untouched_params_export_empty_slots() {
+        let p = quadratic_param(1.0);
+        let opt = Adam::new(0.1);
+        let state = opt.export_state(std::slice::from_ref(&p));
+        assert_eq!(state.t, 0);
+        assert_eq!(state.m, vec![None]);
+        assert_eq!(state.v, vec![None]);
     }
 
     #[test]

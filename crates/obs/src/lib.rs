@@ -178,9 +178,18 @@ pub enum Counter {
     /// Kernel invocations that dispatched to the SIMD (AVX2+FMA) path in
     /// `peb-simd`; stays 0 under `PEB_SIMD=off` or on unsupported CPUs.
     SimdDispatch = 11,
+    /// Micro-batches dropped by the trainer's non-finite loss guard.
+    GuardSkippedBatches = 12,
+    /// Divergence rollbacks performed by the trainer (restore last good
+    /// weights + optimiser state).
+    GuardRollbacks = 13,
+    /// Epoch retries performed after a rollback (with LR backoff).
+    GuardRetries = 14,
+    /// Training checkpoints atomically written by `peb-guard`.
+    GuardCheckpoints = 15,
 }
 
-const N_COUNTERS: usize = 12;
+const N_COUNTERS: usize = 16;
 
 const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "gemm_flops",
@@ -195,6 +204,10 @@ const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "pool_misses",
     "fft_plan_hits",
     "simd_dispatch",
+    "guard_skipped_batches",
+    "guard_rollbacks",
+    "guard_retries",
+    "guard_checkpoints",
 ];
 
 #[allow(clippy::declare_interior_mutable_const)]

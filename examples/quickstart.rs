@@ -52,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = TrainConfig::quick(30);
     cfg.loss = PebLoss::paper();
     cfg.accumulate = 1;
-    let report = Trainer::new(cfg).fit(&model, &[(sim.acid0.clone(), target.clone())]);
+    let report = Trainer::new(cfg)
+        .fit(&model, &[(sim.acid0.clone(), target.clone())])
+        .expect("training");
     println!(
         "  loss {:.1} → {:.1} in {:.2?}",
         report.epoch_losses[0], report.final_loss, report.elapsed

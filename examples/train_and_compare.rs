@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let label = LabelTransform::paper();
     let trainer = Trainer::new(TrainConfig::quick(15));
     for (name, model) in [("SDM-PEB", &sdm as &dyn PebPredictor), ("DeepCNN", &cnn)] {
-        let report = trainer.fit(model, &pairs);
+        let report = trainer.fit(model, &pairs).expect("training");
         let mut err = 0.0;
         for s in &dataset.test {
             let pred = label.decode(&stats.denormalize(&model.predict(&s.acid0)));

@@ -49,7 +49,7 @@ fn sdm_peb_trains_end_to_end_on_rigorous_data() {
     );
     let mut cfg = TrainConfig::quick(6);
     cfg.accumulate = 4;
-    let report = Trainer::new(cfg).fit(&model, &pairs);
+    let report = Trainer::new(cfg).fit(&model, &pairs).expect("training");
     assert!(
         report.final_loss < report.epoch_losses[0],
         "training must reduce the loss: {:?}",
@@ -160,7 +160,7 @@ fn trained_model_beats_trivial_predictor() {
     );
     let mut cfg = TrainConfig::quick(10);
     cfg.accumulate = 4;
-    Trainer::new(cfg).fit(&model, &pairs);
+    Trainer::new(cfg).fit(&model, &pairs).expect("training");
     let label = LabelTransform::paper();
     let sample = &ds.train[0];
     let pred = label.decode(&stats.denormalize(&model.predict(&sample.acid0)));

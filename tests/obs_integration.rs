@@ -42,7 +42,7 @@ fn tracing_profiles_the_pipeline_without_perturbing_it() {
     let pairs = vec![(sim.acid0.clone(), sim.inhibitor.clone())];
     let mut cfg = TrainConfig::quick(2);
     cfg.accumulate = 1;
-    let report = Trainer::new(cfg).fit(&model, &pairs);
+    let report = Trainer::new(cfg).fit(&model, &pairs).expect("training");
     assert!(report.final_loss.is_finite());
 
     // Tracing must be an observer only: bitwise-identical prediction.
