@@ -209,6 +209,94 @@ fn full_pipeline_is_bitwise_deterministic_across_thread_counts() {
 }
 
 #[test]
+fn full_pipeline_is_bitwise_identical_fused_vs_unfused() {
+    // `PEB_FUSE` collapses elementwise chains into single sweeps; the
+    // collapsed sweep must reproduce the separate-kernel bits exactly,
+    // across thread counts.
+    let _latch = pool_latch_lock();
+    peb_pool::set_enabled(true);
+    let prev = peb_tensor::fusion_enabled();
+    peb_tensor::set_fusion_enabled(true);
+    let (pred_on_1t, param_on_1t) = at_threads(1, full_pipeline_step);
+    let (pred_on_4t, _) = at_threads(4, full_pipeline_step);
+    peb_tensor::set_fusion_enabled(false);
+    let (pred_off_1t, param_off_1t) = at_threads(1, full_pipeline_step);
+    let (pred_off_4t, _) = at_threads(4, full_pipeline_step);
+    peb_tensor::set_fusion_enabled(prev);
+    assert_bits_eq(
+        &pred_on_1t,
+        &pred_off_1t,
+        "pipeline prediction (fuse on/off)",
+    );
+    assert_bits_eq(
+        &param_on_1t,
+        &param_off_1t,
+        "updated parameter (fuse on/off)",
+    );
+    assert_bits_eq(
+        &pred_on_1t,
+        &pred_on_4t,
+        "fused prediction (1 vs 4 threads)",
+    );
+    assert_bits_eq(
+        &pred_off_1t,
+        &pred_off_4t,
+        "unfused prediction (1 vs 4 threads)",
+    );
+}
+
+#[test]
+fn full_pipeline_is_bitwise_identical_tiled_vs_untiled() {
+    // `PEB_TILE` reorders whole-element units of work into cache-sized
+    // slabs (ADI x/y sweeps, the explicit stencil, conv3d forward); it
+    // must never change a bit, at any thread count.
+    let _latch = pool_latch_lock();
+    peb_pool::set_enabled(true);
+    let prev = peb_pool::tile::tile_target_bytes();
+    // Small enough that even the 16×16×4 micro volume splits into slabs.
+    peb_pool::tile::set_tile_bytes(Some(1 << 10));
+    let (pred_tiled_1t, param_tiled) = at_threads(1, full_pipeline_step);
+    let (pred_tiled_4t, _) = at_threads(4, full_pipeline_step);
+    peb_pool::tile::set_tile_bytes(None);
+    let (pred_flat_1t, param_flat) = at_threads(1, full_pipeline_step);
+    let (pred_flat_4t, _) = at_threads(4, full_pipeline_step);
+    peb_pool::tile::set_tile_bytes(prev);
+    assert_bits_eq(
+        &pred_tiled_1t,
+        &pred_flat_1t,
+        "pipeline prediction (tile on/off)",
+    );
+    assert_bits_eq(&param_tiled, &param_flat, "updated parameter (tile on/off)");
+    assert_bits_eq(
+        &pred_tiled_1t,
+        &pred_tiled_4t,
+        "tiled prediction (1 vs 4 threads)",
+    );
+    assert_bits_eq(
+        &pred_flat_1t,
+        &pred_flat_4t,
+        "untiled prediction (1 vs 4 threads)",
+    );
+}
+
+#[test]
+fn gradients_check_with_fusion_on() {
+    // The fused backward sweeps (exp / sigmoid / square) must still match
+    // finite differences.
+    let prev = peb_tensor::fusion_enabled();
+    peb_tensor::set_fusion_enabled(true);
+    let mut rng = StdRng::seed_from_u64(1008);
+    let x0 = Tensor::randn(&[12], &mut rng).mul_scalar(0.5);
+    let report = peb_tensor::check_gradients(
+        &Var::parameter(x0),
+        |v| v.sigmoid().mul(&v.exp()).square().sum(),
+        1e-2,
+    );
+    peb_tensor::set_fusion_enabled(prev);
+    assert!(report.ok(2e-2), "fused-chain gradcheck: {report:?}");
+}
+
+#[test]
 fn fft_is_bitwise_deterministic() {
     let mut rng = StdRng::seed_from_u64(1005);
     let f = peb_fft::ComplexField::from_real(&Tensor::randn(&[32, 32], &mut rng));

@@ -251,3 +251,57 @@ fn simd_dispatch_counter_ticks_on_the_vector_path() {
         "simd_dispatch did not advance ({before} -> {after})"
     );
 }
+
+#[test]
+fn pipeline_is_bitwise_identical_fused_vs_unfused_at_every_level() {
+    // Op fusion must be invisible at *both* dispatch levels: within a
+    // level, collapsing a chain into one sweep cannot change a bit.
+    let _guard = lock_level();
+    let prev = peb_tensor::fusion_enabled();
+    for level in levels() {
+        peb_simd::set_level(level);
+        peb_tensor::set_fusion_enabled(true);
+        let (pred_on, param_on) = full_pipeline_step();
+        peb_tensor::set_fusion_enabled(false);
+        let (pred_off, param_off) = full_pipeline_step();
+        let name = level.name();
+        assert_bits_eq(
+            &pred_on,
+            &pred_off,
+            &format!("[{name}] prediction fuse on/off"),
+        );
+        assert_bits_eq(
+            &param_on,
+            &param_off,
+            &format!("[{name}] parameter fuse on/off"),
+        );
+    }
+    peb_tensor::set_fusion_enabled(prev);
+}
+
+#[test]
+fn pipeline_is_bitwise_identical_tiled_vs_untiled_at_every_level() {
+    // Slab tiling reorders whole-element work only, so it too must be
+    // invisible at both dispatch levels.
+    let _guard = lock_level();
+    let prev = peb_pool::tile::tile_target_bytes();
+    for level in levels() {
+        peb_simd::set_level(level);
+        peb_pool::tile::set_tile_bytes(Some(1 << 10));
+        let (pred_tiled, param_tiled) = full_pipeline_step();
+        peb_pool::tile::set_tile_bytes(None);
+        let (pred_flat, param_flat) = full_pipeline_step();
+        let name = level.name();
+        assert_bits_eq(
+            &pred_tiled,
+            &pred_flat,
+            &format!("[{name}] prediction tile on/off"),
+        );
+        assert_bits_eq(
+            &param_tiled,
+            &param_flat,
+            &format!("[{name}] parameter tile on/off"),
+        );
+    }
+    peb_pool::tile::set_tile_bytes(prev);
+}

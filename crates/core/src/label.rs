@@ -38,8 +38,8 @@ impl LabelTransform {
 
     /// Inverse transform `I = exp(−k_c · exp(−Y))`.
     pub fn decode(&self, label: &Tensor) -> Tensor {
-        let kc = self.kc;
-        label.map(|y| (-kc * (-y).exp()).exp())
+        // One fused sweep: −Y → exp → ×−k_c → exp.
+        label.fused().neg().exp().mul_scalar(-self.kc).exp().eval()
     }
 }
 

@@ -32,7 +32,15 @@ impl DillParams {
     /// distribution `[A]₀ = 1 − exp(−c_dose · I)`.
     pub fn photoacid(&self, aerial: &Tensor) -> Tensor {
         let c = self.c_dose;
-        aerial.map(|i| 1.0 - (-c * i.max(0.0)).exp())
+        // Clamp eagerly (no bitwise-safe fused clamp stage), then run the
+        // scale → exp → 1−x tail as a single fused sweep.
+        let clamped = aerial.map(|i| i.max(0.0));
+        clamped
+            .fused()
+            .mul_scalar(-c)
+            .exp()
+            .sub_from_scalar(1.0)
+            .eval()
     }
 }
 

@@ -273,12 +273,10 @@ fn scan_backward(
     };
     let (dbd, dcd) = (db.data_mut(), dc.data_mut());
     for (dbp, dcp) in partials {
-        for (o, v) in dbd.iter_mut().zip(dbp.iter()) {
-            *o += *v;
-        }
-        for (o, v) in dcd.iter_mut().zip(dcp.iter()) {
-            *o += *v;
-        }
+        // Exact lane adds in the same ascending-chunk order as the scalar
+        // loop — bitwise identical at any dispatch level.
+        peb_simd::elementwise::vadd_assign(dbd, &dbp);
+        peb_simd::elementwise::vadd_assign(dcd, &dcp);
     }
     vec![du, ddelta, da, db, dc, dskip]
 }

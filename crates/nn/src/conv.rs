@@ -129,14 +129,32 @@ fn im2col3(
     pad: (usize, usize, usize),
 ) -> Tensor {
     let s = input.shape();
+    let dd = out_extent(s[1], kd, stride.0, pad.0);
+    im2col3_range(input, kd, kh, kw, stride, pad, 0, dd)
+}
+
+/// Unfolds the output-depth slab `[oz0, oz1)` of `[Cin, D, H, W]` into
+/// `[Cin·kd·kh·kw, (oz1−oz0)·Ho·Wo]` — the corresponding column block of
+/// the full [`im2col3`] matrix, filled with identical per-element loads.
+#[allow(clippy::too_many_arguments)]
+fn im2col3_range(
+    input: &Tensor,
+    kd: usize,
+    kh: usize,
+    kw: usize,
+    stride: (usize, usize, usize),
+    pad: (usize, usize, usize),
+    oz0: usize,
+    oz1: usize,
+) -> Tensor {
+    let s = input.shape();
     let (cin, d, h, w) = (s[0], s[1], s[2], s[3]);
-    let (dd, hh, ww) = (
-        out_extent(d, kd, stride.0, pad.0),
+    let (hh, ww) = (
         out_extent(h, kh, stride.1, pad.1),
         out_extent(w, kw, stride.2, pad.2),
     );
     let src = input.data();
-    let cols = dd * hh * ww;
+    let cols = (oz1 - oz0) * hh * ww;
     let per_c = kd * kh * kw * cols;
     // Pooled patch matrix, as in `im2col2`.
     let mut out = Tensor::zeros(&[cin * kd * kh * kw, cols]);
@@ -147,7 +165,7 @@ fn im2col3(
                 for kx in 0..kw {
                     let row = ((kz * kh + ky) * kw + kx) * cols;
                     let mut col = 0usize;
-                    for oz in 0..dd {
+                    for oz in oz0..oz1 {
                         let iz = (oz * stride.0 + kz) as isize - pad.0 as isize;
                         for oy in 0..hh {
                             let iy = (oy * stride.1 + ky) as isize - pad.1 as isize;
@@ -420,8 +438,47 @@ impl Conv3d {
         let (kd, kh, kw) = self.kernel;
         let (stride, pad, cin, cout) = (self.stride, self.pad, self.cin, self.cout);
         let _span = peb_obs::span("conv.conv3d_fwd");
-        let col = im2col3(&x.value(), kd, kh, kw, stride, pad);
-        let mut out = self.weight.value().matmul(&col).expect("conv3d gemm");
+        let xv = x.value();
+        let wv = self.weight.value();
+        // Depth-slab tiling: build the patch matrix and run the GEMM one
+        // output-depth slab at a time so the per-slab working set (patch
+        // columns + output columns) stays cache-resident instead of
+        // streaming the full `Do·Ho·Wo` column space per pass. Bitwise
+        // identical to the untiled path: patch fill is pure per-element,
+        // and GEMM accumulation order per output element depends only on
+        // the K blocking, never on how columns are partitioned. Only the
+        // forward tiles — the backward `dw` GEMM and `col2im3` accumulate
+        // *across* columns, where slab splits would change bracketing.
+        let col_rows = cin * kd * kh * kw;
+        let plane = hh * ww;
+        let bytes_per_oz = (col_rows + cout) * plane * 4;
+        let mut out = match peb_pool::tile::slab_items(bytes_per_oz, dd) {
+            Some(sd) if sd < dd => {
+                let cols = dd * plane;
+                let mut out = Tensor::zeros(&[cout, cols]);
+                let mut d0 = 0usize;
+                while d0 < dd {
+                    let d1 = (d0 + sd).min(dd);
+                    let slab = im2col3_range(&xv, kd, kh, kw, stride, pad, d0, d1);
+                    let part = wv.matmul(&slab).expect("conv3d gemm slab");
+                    let pdata = part.data();
+                    let pcols = (d1 - d0) * plane;
+                    let odata = out.data_mut();
+                    for c in 0..cout {
+                        odata[c * cols + d0 * plane..c * cols + d1 * plane]
+                            .copy_from_slice(&pdata[c * pcols..(c + 1) * pcols]);
+                    }
+                    peb_obs::count(peb_obs::Counter::SlabPasses, 1);
+                    d0 = d1;
+                }
+                out
+            }
+            _ => {
+                let col = im2col3(&xv, kd, kh, kw, stride, pad);
+                wv.matmul(&col).expect("conv3d gemm")
+            }
+        };
+        drop(xv);
         if let Some(b) = &self.bias {
             let bv = b.value();
             let spatial = dd * hh * ww;
@@ -907,6 +964,23 @@ mod tests {
             }
         }
         assert!((y.value().get(&[0, 2, 2]) - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    fn conv3d_tiled_forward_is_bitwise_identical_to_untiled() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let conv = Conv3d::new(3, 5, (3, 3, 3), (1, 1, 1), (1, 1, 1), true, &mut rng);
+        let x = Var::constant(Tensor::randn(&[3, 12, 10, 10], &mut rng));
+        // Tiny target → one output plane per slab.
+        peb_pool::tile::set_tile_bytes(Some(1));
+        let tiled = conv.forward(&x).value_clone();
+        peb_pool::tile::set_tile_bytes(None);
+        let untiled = conv.forward(&x).value_clone();
+        peb_pool::tile::set_tile_bytes(Some(peb_pool::tile::DEFAULT_TILE_BYTES));
+        assert_eq!(tiled.shape(), untiled.shape());
+        for (a, b) in tiled.data().iter().zip(untiled.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -187,9 +187,16 @@ pub enum Counter {
     GuardRetries = 14,
     /// Training checkpoints atomically written by `peb-guard`.
     GuardCheckpoints = 15,
+    /// Elementwise stages collapsed into fused single-sweep loops by the
+    /// `peb-tensor` fused-chain builder. A k-stage `eval()` ticks this by
+    /// k while performing a single pool checkout instead of k.
+    FusedOps = 16,
+    /// Cache-sized slab passes executed by the tiled solver/conv paths
+    /// (one tick per slab actually streamed, 0 under `PEB_TILE=off`).
+    SlabPasses = 17,
 }
 
-const N_COUNTERS: usize = 16;
+const N_COUNTERS: usize = 18;
 
 const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "gemm_flops",
@@ -208,6 +215,8 @@ const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "guard_rollbacks",
     "guard_retries",
     "guard_checkpoints",
+    "fused_ops",
+    "slab_passes",
 ];
 
 #[allow(clippy::declare_interior_mutable_const)]

@@ -38,19 +38,30 @@
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU8, Ordering};
 
+pub mod tile;
+
 /// Largest pooled buffer: `2^MAX_BUCKET` elements. Checkouts above this
-/// always allocate fresh and returns above it are dropped.
-const MAX_BUCKET: usize = 24;
+/// always allocate fresh and returns above it are dropped. Sized to
+/// cover the 512×512×80 "paper-shape" volumes (≈21 M elements) exercised
+/// by `bench_e2e`.
+const MAX_BUCKET: usize = 26;
 
 /// Retained bytes per bucket. Depth is the budget divided by the bucket's
 /// maximum buffer size, so small buckets hold thousands of buffers (an
 /// autograd graph keeps that many same-sized activations live at once and
 /// drops them together at step end) while large buckets keep only a few.
-const BUCKET_BYTE_BUDGET: usize = 16 << 20;
+const BUCKET_BYTE_BUDGET: usize = 64 << 20;
 
-/// Floor on retained buffers per bucket, so even the largest size classes
-/// get some reuse.
-const MIN_PER_BUCKET: usize = 4;
+/// Floor on retained buffers per bucket. An autograd graph at the
+/// 512×512×80 paper shape drops dozens of same-sized full-volume
+/// activations (~84 MB each) at the end of every step; if the bucket is
+/// shallower than that working set, each drop munmaps the pages and the
+/// next checkout page-faults freshly kernel-zeroed ones — measured at
+/// >80% of total CPU in system time. Depth must cover the graph's
+/// same-size churn, so the floor is sized to it rather than to a byte
+/// budget. Retained memory stays bounded by what the workload actually
+/// cycled, never beyond its own previous peak.
+const MIN_PER_BUCKET: usize = 48;
 
 /// Ceiling on retained buffers per bucket, bounding the tiny-buffer
 /// bookkeeping.

@@ -37,6 +37,7 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 
 pub mod elementwise;
+pub mod fused;
 pub mod gemm;
 pub mod optim;
 pub mod scan;

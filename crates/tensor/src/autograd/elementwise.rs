@@ -122,7 +122,11 @@ impl Var {
 
     /// Natural exponential.
     pub fn exp(&self) -> Var {
-        self.map_unary(f32::exp, |_, y| y)
+        let out = self.value().exp();
+        let y = out.clone();
+        Var::from_op(out, vec![self.clone()], move |g| {
+            vec![Some(y.fused().mul(g).eval())]
+        })
     }
 
     /// Natural logarithm of `x + eps` (eps guards against log(0)).
@@ -137,7 +141,12 @@ impl Var {
 
     /// Elementwise square.
     pub fn square(&self) -> Var {
-        self.map_unary(|x| x * x, |x, _| 2.0 * x)
+        let xv = self.value_clone();
+        let out = xv.mul_t(&xv).expect("square");
+        Var::from_op(out, vec![self.clone()], move |g| {
+            // (x·2)·g — commutative reorder of g·(2·x), bitwise identical.
+            vec![Some(xv.fused().mul_scalar(2.0).mul(g).eval())]
+        })
     }
 
     /// `|x|^p` with the correct signed gradient `p·|x|^{p-1}·sign(x)`.
@@ -159,19 +168,38 @@ impl Var {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Var {
-        self.map_unary(stable_sigmoid, |_, y| y * (1.0 - y))
+        let out = self.value().sigmoid();
+        let y = out.clone();
+        Var::from_op(out, vec![self.clone()], move |g| {
+            // ((1−y)·y)·g in one fused sweep — commutative reorder of
+            // g·(y·(1−y)), bitwise identical.
+            vec![Some(y.fused().sub_from_scalar(1.0).mul(&y).mul(g).eval())]
+        })
     }
 
     /// SiLU (sigmoid-weighted linear unit), the activation used throughout
     /// the SDM unit.
+    ///
+    /// The sigmoid runs through the dispatched kernel (tolerance-class on
+    /// SIMD, like [`Var::sigmoid`]); the backward is one fused sweep
+    /// `((((1−s)·x)+1)·s)·g` — a commutative reorder of
+    /// `g·(s·(1+x·(1−s)))`, bitwise identical to the scalar closure at a
+    /// fixed dispatch level.
     pub fn silu(&self) -> Var {
-        self.map_unary(
-            |x| x * stable_sigmoid(x),
-            |x, _| {
-                let s = stable_sigmoid(x);
-                s * (1.0 + x * (1.0 - s))
-            },
-        )
+        let xv = self.value_clone();
+        let s = xv.sigmoid();
+        let out = s.mul_t(&xv).expect("silu");
+        Var::from_op(out, vec![self.clone()], move |g| {
+            vec![Some(
+                s.fused()
+                    .sub_from_scalar(1.0)
+                    .mul(&xv)
+                    .add_scalar(1.0)
+                    .mul(&s)
+                    .mul(g)
+                    .eval(),
+            )]
+        })
     }
 
     /// Softplus `ln(1 + e^x)`, used for the Δ parameter of the SSM

@@ -1,0 +1,295 @@
+//! Lazy fused elementwise chains over [`Tensor`].
+//!
+//! [`Tensor::fused`] starts a bounded chain builder; each combinator
+//! records one elementwise stage, and [`FusedChain::eval`] executes the
+//! whole chain as a **single** streaming sweep through
+//! [`peb_simd::fused::vchain`] — one pool checkout for the output
+//! instead of one per stage, and one pass over memory instead of k.
+//!
+//! The fused result is bitwise identical to evaluating the same stages
+//! as separate tensor ops at the same `PEB_SIMD` dispatch level (see the
+//! determinism contract in `peb_simd::fused`). `PEB_FUSE=off` (or
+//! [`set_fusion_enabled`]`(false)`) makes `eval()` fall back to exactly
+//! those separate unfused sweeps — the A/B lever used by `bench_e2e` and
+//! the determinism suite.
+//!
+//! # Example
+//!
+//! ```
+//! use peb_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![0.0, 1.0], &[2]).unwrap();
+//! let b = Tensor::from_vec(vec![2.0, 3.0], &[2]).unwrap();
+//! // sigmoid((a + b) * 0.5) in one sweep.
+//! let y = a.fused().add(&b).mul_scalar(0.5).sigmoid().eval();
+//! assert_eq!(y.shape(), &[2]);
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use peb_simd::fused::Stage;
+
+use crate::Tensor;
+
+const FUSE_UNINIT: u8 = u8::MAX;
+static FUSE: AtomicU8 = AtomicU8::new(FUSE_UNINIT);
+
+#[cold]
+fn init_fuse() -> bool {
+    let on = !matches!(
+        std::env::var("PEB_FUSE").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    );
+    FUSE.store(on as u8, Ordering::Relaxed);
+    on
+}
+
+/// Whether fused chains execute as single sweeps, latched from
+/// `PEB_FUSE` on first call (default: on).
+#[inline]
+pub fn fusion_enabled() -> bool {
+    match FUSE.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => init_fuse(),
+    }
+}
+
+/// Overrides the latched fusion switch, bypassing `PEB_FUSE`. Used by
+/// benchmark binaries and the determinism suite for A/B runs; callers
+/// that toggle this in tests must serialise themselves (the switch is
+/// process-global).
+pub fn set_fusion_enabled(on: bool) {
+    FUSE.store(on as u8, Ordering::Relaxed);
+}
+
+/// A bounded chain of elementwise stages pending evaluation.
+///
+/// Built by [`Tensor::fused`]; consumed by [`FusedChain::eval`]. Binary
+/// combinators require the operand to have the source's shape (fusion is
+/// same-shape only — broadcasting calls keep using the eager ops).
+#[must_use = "a fused chain does nothing until eval()"]
+pub struct FusedChain<'a> {
+    src: &'a Tensor,
+    stages: Vec<Stage<'a>>,
+}
+
+impl Tensor {
+    /// Starts a lazily fused elementwise chain rooted at this tensor.
+    pub fn fused(&self) -> FusedChain<'_> {
+        FusedChain {
+            src: self,
+            stages: Vec::new(),
+        }
+    }
+}
+
+impl<'a> FusedChain<'a> {
+    fn operand(&mut self, b: &'a Tensor, make: fn(&'a [f32]) -> Stage<'a>) {
+        assert_eq!(
+            b.shape(),
+            self.src.shape(),
+            "fused chain operands must be same-shape"
+        );
+        self.stages.push(make(b.data()));
+    }
+
+    /// `acc + b`
+    pub fn add(mut self, b: &'a Tensor) -> Self {
+        self.operand(b, Stage::AddT);
+        self
+    }
+
+    /// `acc − b`
+    pub fn sub(mut self, b: &'a Tensor) -> Self {
+        self.operand(b, Stage::SubT);
+        self
+    }
+
+    /// `b − acc`
+    pub fn rsub(mut self, b: &'a Tensor) -> Self {
+        self.operand(b, Stage::RsubT);
+        self
+    }
+
+    /// `acc × b`
+    pub fn mul(mut self, b: &'a Tensor) -> Self {
+        self.operand(b, Stage::MulT);
+        self
+    }
+
+    /// `acc ÷ b`
+    pub fn div(mut self, b: &'a Tensor) -> Self {
+        self.operand(b, Stage::DivT);
+        self
+    }
+
+    /// `acc + s`
+    pub fn add_scalar(mut self, s: f32) -> Self {
+        self.stages.push(Stage::AddScalar(s));
+        self
+    }
+
+    /// `acc × s`
+    pub fn mul_scalar(mut self, s: f32) -> Self {
+        self.stages.push(Stage::MulScalar(s));
+        self
+    }
+
+    /// `s − acc`
+    pub fn sub_from_scalar(mut self, s: f32) -> Self {
+        self.stages.push(Stage::SubFromScalar(s));
+        self
+    }
+
+    /// `√acc`
+    pub fn sqrt(mut self) -> Self {
+        self.stages.push(Stage::Sqrt);
+        self
+    }
+
+    /// `exp(acc)` (backend exponential — tolerance-class on SIMD).
+    pub fn exp(mut self) -> Self {
+        self.stages.push(Stage::Exp);
+        self
+    }
+
+    /// Numerically stable logistic sigmoid.
+    pub fn sigmoid(mut self) -> Self {
+        self.stages.push(Stage::Sigmoid);
+        self
+    }
+
+    /// `−acc`
+    pub fn neg(mut self) -> Self {
+        self.stages.push(Stage::Neg);
+        self
+    }
+
+    /// Number of recorded stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the chain has no stages yet.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Executes the chain.
+    ///
+    /// With fusion enabled this is one streaming sweep and one pool
+    /// checkout, ticking `fused_ops` once per collapsed stage; with
+    /// fusion disabled each stage runs as its own unfused kernel sweep
+    /// with its own pooled intermediate (identical arithmetic, k× the
+    /// traffic), ticking nothing.
+    pub fn eval(self) -> Tensor {
+        if self.stages.is_empty() {
+            return self.src.clone();
+        }
+        if fusion_enabled() {
+            let n = self.src.len();
+            let mut data = crate::tensor::alloc_cleared(n);
+            data.resize(n, 0.0);
+            peb_simd::fused::vchain(self.src.data(), &self.stages, &mut data);
+            peb_obs::count(peb_obs::Counter::FusedOps, self.stages.len() as u64);
+            Tensor::from_pooled(data, self.src.shape())
+        } else {
+            eval_unfused(self.src, &self.stages)
+        }
+    }
+}
+
+/// The reference path: each stage as a separate dispatched kernel sweep
+/// through its own pooled intermediate — exactly what the eager tensor
+/// ops would have done.
+fn eval_unfused(src: &Tensor, stages: &[Stage<'_>]) -> Tensor {
+    use peb_simd::elementwise as ew;
+    let n = src.len();
+    let mut cur: Option<Vec<f32>> = None;
+    for st in stages {
+        let mut out = crate::tensor::alloc_cleared(n);
+        out.resize(n, 0.0);
+        let inp: &[f32] = cur.as_deref().unwrap_or_else(|| src.data());
+        match *st {
+            Stage::AddT(b) => ew::vadd(inp, b, &mut out),
+            Stage::SubT(b) => ew::vsub(inp, b, &mut out),
+            Stage::RsubT(b) => ew::vsub(b, inp, &mut out),
+            Stage::MulT(b) => ew::vmul(inp, b, &mut out),
+            Stage::DivT(b) => ew::vdiv(inp, b, &mut out),
+            Stage::AddScalar(s) => ew::vadd_scalar(inp, s, &mut out),
+            Stage::MulScalar(s) => ew::vmul_scalar(inp, s, &mut out),
+            Stage::SubFromScalar(s) => {
+                for (o, &v) in out.iter_mut().zip(inp) {
+                    *o = s - v;
+                }
+            }
+            Stage::Sqrt => ew::vsqrt(inp, &mut out),
+            Stage::Exp => ew::vexp(inp, &mut out),
+            Stage::Sigmoid => ew::vsigmoid(inp, &mut out),
+            Stage::Neg => {
+                for (o, &v) in out.iter_mut().zip(inp) {
+                    *o = -v;
+                }
+            }
+        }
+        if let Some(prev) = cur.take() {
+            peb_pool::recycle(prev);
+        }
+        cur = Some(out);
+    }
+    Tensor::from_pooled(cur.expect("non-empty chain"), src.shape())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(len: usize, salt: u32) -> Tensor {
+        Tensor::from_fn(&[len], |i| {
+            let x = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            (x as f32 / u32::MAX as f32) * 4.0 - 2.0
+        })
+    }
+
+    #[test]
+    fn fused_matches_eager_ops_bitwise() {
+        let a = t(101, 1);
+        let b = t(101, 2);
+        let eager = (&(&a + &b) * &b).mul_scalar(0.5).sigmoid();
+        let fused = a.fused().add(&b).mul(&b).mul_scalar(0.5).sigmoid().eval();
+        for (x, y) in eager.data().iter().zip(fused.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_matches_unfused_fallback_bitwise() {
+        let a = t(77, 3);
+        let b = t(77, 4);
+        let prev = fusion_enabled();
+        set_fusion_enabled(true);
+        let fused = a.fused().sub(&b).exp().add_scalar(1.0).eval();
+        set_fusion_enabled(false);
+        let unfused = a.fused().sub(&b).exp().add_scalar(1.0).eval();
+        set_fusion_enabled(prev);
+        for (x, y) in fused.data().iter().zip(unfused.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let a = t(9, 5);
+        let out = a.fused().eval();
+        assert_eq!(a.data(), out.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "same-shape")]
+    fn rejects_shape_mismatch() {
+        let a = t(8, 6);
+        let b = t(9, 7);
+        let _ = a.fused().add(&b);
+    }
+}
