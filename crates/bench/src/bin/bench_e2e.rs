@@ -20,7 +20,6 @@ use std::time::Instant;
 
 use peb_litho::{Grid, LithoFlow, MaskConfig, PebSolver};
 use peb_nn::{Adam, Optimizer, Parameterized};
-use peb_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sdm_peb::{LabelTransform, PebLoss, PebPredictor, SdmPeb, SdmPebConfig};
@@ -75,15 +74,6 @@ struct Tier {
     train_steps: usize,
 }
 
-fn digest(t: &Tensor) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for v in t.data() {
-        h ^= v.to_bits() as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// One full solver + train + infer pass under the given knobs.
 fn run_cfg(tier: &Tier, cfg: Cfg, tile_target: Option<usize>) -> Timing {
     peb_simd::set_level(cfg.level);
@@ -135,9 +125,9 @@ fn run_cfg(tier: &Tier, cfg: Cfg, tile_target: Option<usize>) -> Timing {
             train_s,
             infer_s,
             digests: [
-                digest(&state.inhibitor),
-                train_pred.map_or(0, |p| digest(&p)),
-                digest(&infer),
+                state.inhibitor.bit_digest(),
+                train_pred.map_or(0, |p| p.bit_digest()),
+                infer.bit_digest(),
             ],
         }
     })

@@ -1,0 +1,275 @@
+//! Closed-loop load generator for `peb-serve`: emits `BENCH_serve.json`
+//! with p50/p99 latency, QPS at saturation, and the batch-size
+//! histogram.
+//!
+//! The server runs in-process on a loopback port; N client threads each
+//! run a closed loop (send → wait → send) over real TCP for a fixed
+//! window at increasing concurrency. A hot-swap is fired mid-load at
+//! the highest concurrency, and every 200-response is digest-checked
+//! against the two legitimate model versions — load must never change a
+//! bit, and a swap must never corrupt an in-flight request.
+//!
+//! Knobs: `PEB_SERVE_BENCH_SECS` (window per stage, default 2),
+//! `PEB_SERVE_BENCH_CONNS` (comma list, default `1,2,4`),
+//! `PEB_SERVE_MAX_BATCH` / `PEB_SERVE_MAX_WAIT_US` / `PEB_SERVE_QUEUE`
+//! feed straight into the server config. The queue is sized normally,
+//! so shed (429) counts appear in the JSON when the box saturates.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use peb_guard::{OptKind, TrainCheckpoint};
+use peb_nn::Parameterized;
+use peb_serve::{Client, ClientError, ServeConfig, Server};
+use peb_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdm_peb::{PebPredictor, SdmPeb, SdmPebConfig};
+
+const GRID: (usize, usize, usize) = (4, 16, 16);
+const BASE_SEED: u64 = 42;
+const SWAP_SEED: u64 = 999;
+
+struct StageResult {
+    conns: usize,
+    requests: u64,
+    shed: u64,
+    errors: u64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn test_clip() -> Tensor {
+    let (d, h, w) = GRID;
+    Tensor::from_vec(
+        (0..d * h * w)
+            .map(|i| (i as f32 * 0.017).sin() * 0.4 + 0.5)
+            .collect(),
+        &[d, h, w],
+    )
+    .expect("clip")
+}
+
+fn model_digest(seed: u64) -> u64 {
+    let model = SdmPeb::new(SdmPebConfig::tiny(GRID), &mut StdRng::seed_from_u64(seed));
+    model.predict(&test_clip()).bit_digest()
+}
+
+fn write_swap_checkpoint() -> PathBuf {
+    let model = SdmPeb::new(
+        SdmPebConfig::tiny(GRID),
+        &mut StdRng::seed_from_u64(SWAP_SEED),
+    );
+    let params: Vec<Tensor> = model.parameters().iter().map(|p| p.value_clone()).collect();
+    let n = params.len();
+    let ckpt = TrainCheckpoint {
+        epoch: 1,
+        seed: SWAP_SEED,
+        opt_kind: OptKind::Adam,
+        opt_t: 0,
+        lr_scale: 1.0,
+        rollbacks: 0,
+        epoch_stats: vec![],
+        params,
+        opt_m: vec![None; n],
+        opt_v: vec![None; n],
+    };
+    let path = std::env::temp_dir().join(format!("peb_bench_serve_{}.ckpt", std::process::id()));
+    ckpt.save(&path).expect("save swap checkpoint");
+    path
+}
+
+/// One closed-loop stage at `conns` concurrent connections. Returns the
+/// stage summary; panics on a digest violation.
+fn run_stage(addr: SocketAddr, conns: usize, window: Duration, ok_digests: &[u64]) -> StageResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let clip = test_clip();
+    let workers: Vec<_> = (0..conns)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let clip = clip.clone();
+            let ok = ok_digests.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut lat_us: Vec<f64> = Vec::new();
+                let (mut shed, mut errors) = (0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    match client.infer(&clip) {
+                        Ok(y) => {
+                            lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                            let d = y.bit_digest();
+                            assert!(
+                                ok.contains(&d),
+                                "response bits match no legitimate model version"
+                            );
+                        }
+                        Err(ClientError::Status(429, _)) => shed += 1,
+                        Err(_) => {
+                            errors += 1;
+                            // The connection may be poisoned; reconnect.
+                            match Client::connect(addr) {
+                                Ok(c) => client = c,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                (lat_us, shed, errors)
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let mut all_lat: Vec<f64> = Vec::new();
+    let (mut shed, mut errors) = (0u64, 0u64);
+    for w in workers {
+        let (lat, s, e) = w.join().expect("client thread");
+        all_lat.extend(lat);
+        shed += s;
+        errors += e;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    all_lat.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    StageResult {
+        conns,
+        requests: all_lat.len() as u64,
+        shed,
+        errors,
+        qps: all_lat.len() as f64 / elapsed,
+        p50_us: percentile(&all_lat, 50.0),
+        p99_us: percentile(&all_lat, 99.0),
+        max_us: all_lat.last().copied().unwrap_or(0.0),
+    }
+}
+
+fn main() {
+    let window_s: f64 = std::env::var("PEB_SERVE_BENCH_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let conns_list: Vec<usize> = std::env::var("PEB_SERVE_BENCH_CONNS")
+        .unwrap_or_else(|_| "1,2,4".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let window = Duration::from_secs_f64(window_s);
+
+    let mut config = ServeConfig::from_env();
+    config.addr = "127.0.0.1:0".into();
+    config.grid = GRID;
+    config.seed = BASE_SEED;
+    let server = Server::start(config.clone()).expect("start server");
+    let addr = server.addr();
+    println!(
+        "bench_serve: {} conns={conns_list:?} window={window_s}s grid={}x{}x{} \
+         max_batch={} max_wait={}us queue={} cores={cores}",
+        addr, GRID.0, GRID.1, GRID.2, config.max_batch, config.max_wait_us, config.queue_cap,
+    );
+
+    // Reference digests: responses must match one of the two versions.
+    let base_digest = model_digest(BASE_SEED);
+    let swap_digest = model_digest(SWAP_SEED);
+    assert_ne!(base_digest, swap_digest);
+    let ok_digests = [base_digest, swap_digest];
+
+    // Warmup (not timed) — also verifies the base model serves.
+    {
+        let mut c = Client::connect(addr).expect("connect");
+        for _ in 0..3 {
+            let y = c.infer(&test_clip()).expect("warmup infer");
+            assert_eq!(y.bit_digest(), base_digest, "warmup digest mismatch");
+        }
+    }
+
+    let mut stages: Vec<StageResult> = Vec::new();
+    let last = conns_list.len().saturating_sub(1);
+    let ckpt_path = write_swap_checkpoint();
+    for (i, &conns) in conns_list.iter().enumerate() {
+        // Fire a hot-swap mid-window at the highest concurrency stage.
+        let swapper = (i == last).then(|| {
+            let path = ckpt_path.clone();
+            let half = window / 2;
+            std::thread::spawn(move || {
+                std::thread::sleep(half);
+                let mut c = Client::connect(addr).expect("connect");
+                c.swap(path.to_str().expect("utf8 path"))
+                    .expect("hot-swap under load")
+            })
+        });
+        let r = run_stage(addr, conns, window, &ok_digests);
+        if let Some(s) = swapper {
+            let v = s.join().expect("swapper thread");
+            println!(
+                "  hot-swap under load → version {} (epoch {})",
+                v.version, v.epoch
+            );
+        }
+        println!(
+            "  conns={:<2} qps={:>8.1} p50={:>8.1}us p99={:>9.1}us shed={} errors={}",
+            r.conns, r.qps, r.p50_us, r.p99_us, r.shed, r.errors
+        );
+        stages.push(r);
+    }
+    std::fs::remove_file(&ckpt_path).ok();
+
+    let stats = server.handle().stats();
+    let saturation_qps = stages.iter().map(|s| s.qps).fold(0.0, f64::max);
+    let hist = stats.batch_hist_entries();
+    let hotswaps = stats.hotswaps.load(Ordering::Relaxed);
+    let total_shed: u64 = stages.iter().map(|s| s.shed).sum();
+    server.shutdown();
+
+    assert!(hotswaps >= 1, "the under-load hot-swap must have landed");
+    assert!(!hist.is_empty(), "batch histogram must not be empty");
+
+    let stages_json: Vec<String> = stages
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"conns\":{},\"requests\":{},\"shed\":{},\"errors\":{},\"qps\":{:.2},\"p50_us\":{:.1},\"p99_us\":{:.1},\"max_us\":{:.1}}}",
+                s.conns, s.requests, s.shed, s.errors, s.qps, s.p50_us, s.p99_us, s.max_us
+            )
+        })
+        .collect();
+    let hist_json: Vec<String> = hist
+        .iter()
+        .map(|(size, count)| format!("\"{size}\":{count}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"grid\": \"{}x{}x{}\",\n  \"max_batch\": {},\n  \"max_wait_us\": {},\n  \"queue_cap\": {},\n  \"hardware_cores\": {},\n  \"window_s\": {},\n  \"stages\": [{}],\n  \"saturation_qps\": {:.2},\n  \"batch_hist\": {{{}}},\n  \"hotswaps\": {},\n  \"shed_total\": {},\n  \"digest_ok\": true\n}}\n",
+        GRID.0,
+        GRID.1,
+        GRID.2,
+        config.max_batch,
+        config.max_wait_us,
+        config.queue_cap,
+        cores,
+        window_s,
+        stages_json.join(","),
+        saturation_qps,
+        hist_json.join(","),
+        hotswaps,
+        total_shed,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!(
+        "  saturation_qps={saturation_qps:.1} hotswaps={hotswaps} shed={total_shed}\n  wrote BENCH_serve.json"
+    );
+}

@@ -80,7 +80,7 @@ fn fused_chain_counters_reconcile_with_pool_accounting() {
     assert_eq!(unfused.fused, 0, "unfused fallback must tick no fused_ops");
     assert_eq!(
         unfused.hits + unfused.misses,
-        k as u64,
+        k,
         "unfused fallback must check out one intermediate per stage"
     );
     assert_eq!(

@@ -50,5 +50,5 @@ pub use loss::{LossBreakdown, PebLoss, Reduction};
 pub use metrics::{cd_error_nm, cd_histogram, nrmse, rmse, CdErrorStats, CD_BUCKET_LABELS};
 pub use model::{SdmPeb, SdmPebConfig};
 pub use peb_guard::{PebError, Result};
-pub use solver::PebPredictor;
+pub use solver::{restore_parameters, PebPredictor};
 pub use train::{EpochStats, GuardConfig, TrainConfig, TrainReport, Trainer};

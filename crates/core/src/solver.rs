@@ -20,6 +20,63 @@ pub trait PebPredictor: Parameterized {
         let _span = peb_obs::span("model.predict");
         self.forward_train(acid).value_clone()
     }
+
+    /// Batched inference: one engine invocation over `clips`, returning
+    /// one prediction per clip in order.
+    ///
+    /// **Bitwise contract:** the result for clip `i` is bit-identical to
+    /// `self.predict(&clips[i])` — batching (any size, any arrival
+    /// order) must never change a single output bit. On this CPU
+    /// backend the clips stream one at a time through the tiled/fused
+    /// kernel path (which already saturates the cores via `peb-par`); a
+    /// literal 5-D batch axis would re-bracket GEMM accumulation and
+    /// break that contract, so the batch win here is amortised dispatch
+    /// and pooled-buffer reuse across the batch, not kernel-level
+    /// batching. `peb-serve` relies on this contract for its dynamic
+    /// batcher (see DESIGN §12).
+    fn predict_batch(&self, clips: &[Tensor]) -> Vec<Tensor> {
+        let _span = peb_obs::span("model.predict_batch");
+        clips.iter().map(|clip| self.predict(clip)).collect()
+    }
+}
+
+/// Copies checkpointed parameter values into a model, in
+/// [`Parameterized::parameters`] order.
+///
+/// This is the serving half of the `PEBCKPT1` round trip: a registry
+/// builds the architecture once and splices successive checkpoints'
+/// weights in. Values are validated *before* any write, so a mismatch
+/// leaves the model untouched.
+///
+/// # Errors
+///
+/// Returns [`peb_guard::PebError::Shape`] when the tensor count or any
+/// tensor's shape disagrees with the model's parameters.
+pub fn restore_parameters<M: Parameterized + ?Sized>(
+    model: &M,
+    values: &[Tensor],
+) -> peb_guard::Result<()> {
+    let params = model.parameters();
+    if params.len() != values.len() {
+        return Err(peb_guard::PebError::shape(format!(
+            "parameter count mismatch: model has {}, checkpoint holds {}",
+            params.len(),
+            values.len()
+        )));
+    }
+    for (i, (p, v)) in params.iter().zip(values).enumerate() {
+        if p.shape() != v.shape() {
+            return Err(peb_guard::PebError::shape(format!(
+                "parameter {i} shape mismatch: model {:?}, checkpoint {:?}",
+                p.shape(),
+                v.shape()
+            )));
+        }
+    }
+    for (p, v) in params.iter().zip(values) {
+        p.set_value(v.clone());
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -51,6 +108,31 @@ mod tests {
         assert_eq!(y.shape(), &[2, 2, 2]);
         assert_eq!(y.data()[0], 2.5);
         assert_eq!(m.name(), "constant");
+    }
+
+    #[test]
+    fn predict_batch_matches_sequential_bitwise() {
+        let m = Constant(Var::parameter(Tensor::scalar(1.25)));
+        let clips: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::full(&[2, 2, 2], i as f32 * 0.1))
+            .collect();
+        let batched = m.predict_batch(&clips);
+        assert_eq!(batched.len(), clips.len());
+        for (clip, out) in clips.iter().zip(&batched) {
+            assert_eq!(out.bit_digest(), m.predict(clip).bit_digest());
+        }
+    }
+
+    #[test]
+    fn restore_parameters_validates_then_writes() {
+        let m = Constant(Var::parameter(Tensor::scalar(0.0)));
+        // Wrong count.
+        assert!(restore_parameters(&m, &[]).is_err());
+        // Wrong shape leaves the model untouched.
+        assert!(restore_parameters(&m, &[Tensor::zeros(&[3])]).is_err());
+        assert_eq!(m.0.value().item(), 0.0);
+        restore_parameters(&m, &[Tensor::scalar(7.5)]).expect("restore");
+        assert_eq!(m.0.value().item(), 7.5);
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //! | `bitflip-ckpt[:BYTE]` | after the next checkpoint write, flip one bit at offset `BYTE` (default the payload midpoint) |
 //! | `kill[:EPOCH]` | abort the run with [`PebError::Injected`] right after the checkpoint of `EPOCH` (default 1) is written — the resume test then continues from disk |
 //! | `truncate-data[:BYTES]` | after the next dataset write, truncate the file by `BYTES` (default 64) bytes |
+//! | `disconnect` | drop the next `peb-serve` client connection mid-response (abrupt socket close after the headers, before the body) |
+//!
+//! The checkpoint faults double as *hot-swap* faults: `peb-serve` probes
+//! [`mangle_checkpoint`] on the file it is about to load, so an armed
+//! `truncate-ckpt`/`bitflip-ckpt` corrupts the incoming model exactly
+//! once and the registry's reject-and-keep-serving path is exercised.
 //!
 //! Production builds never consult this module unless `PEB_CHAOS` is set;
 //! the disarmed fast path is one mutex-free atomic load.
@@ -53,6 +59,8 @@ pub enum Chaos {
         /// Bytes to cut from the tail.
         bytes: u64,
     },
+    /// Drop the next served client connection mid-response.
+    Disconnect,
 }
 
 /// Fast disarm flag: `false` ⇒ nothing armed, probes return immediately.
@@ -117,6 +125,7 @@ pub fn parse(spec: &str) -> Option<Chaos> {
         "truncate-data" => Some(Chaos::TruncateData {
             bytes: arg.unwrap_or(64),
         }),
+        "disconnect" => Some(Chaos::Disconnect),
         _ => None,
     }
 }
@@ -173,8 +182,15 @@ pub fn take_kill(epoch: u64) -> bool {
     take_if(|c| matches!(c, Chaos::Kill { epoch: e } if *e == epoch)).is_some()
 }
 
+/// True exactly once when a client-disconnect fault is armed — the
+/// server responds by closing the socket mid-response.
+pub fn take_disconnect() -> bool {
+    take_if(|c| matches!(c, Chaos::Disconnect)).is_some()
+}
+
 /// Applies any armed checkpoint-file corruption to `path` (called after
-/// a checkpoint write). Returns `true` when the file was mangled.
+/// a checkpoint write, and by `peb-serve` *before* a hot-swap load).
+/// Returns `true` when the file was mangled.
 pub fn mangle_checkpoint(path: &Path) -> bool {
     match take_if(|c| matches!(c, Chaos::TruncateCkpt { .. } | Chaos::BitflipCkpt { .. })) {
         Some(Chaos::TruncateCkpt { bytes }) => truncate_tail(path, bytes),
@@ -265,6 +281,7 @@ mod tests {
             parse("truncate-data"),
             Some(Chaos::TruncateData { bytes: 64 })
         );
+        assert_eq!(parse("disconnect"), Some(Chaos::Disconnect));
         assert_eq!(parse("meteor-strike"), None);
     }
 

@@ -236,6 +236,101 @@ impl TrainCheckpoint {
     }
 }
 
+// --- header peek ------------------------------------------------------------
+
+/// Validated header metadata of an on-disk checkpoint, decoded without
+/// materialising the parameter tensors.
+///
+/// The whole file is still read and CRC-checked (corruption anywhere in
+/// the payload must be caught before a consumer trusts the header), but
+/// the tensor payload is never decoded into `Vec<f32>` storage — on
+/// serve-sized models that is the difference between a metadata probe
+/// and a full model load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CkptMeta {
+    /// Epochs completed when the state was captured.
+    pub epoch: u64,
+    /// Shuffle seed of the originating run.
+    pub seed: u64,
+    /// Optimiser family stored alongside the weights.
+    pub opt_kind: OptKind,
+    /// Number of parameter tensors in the payload.
+    pub n_params: u64,
+    /// Total file size in bytes (CRC footer included).
+    pub file_bytes: u64,
+    /// The validated CRC-32 — a stable content fingerprint, usable as a
+    /// version identity for hot-swap registries.
+    pub crc: u32,
+}
+
+/// Reads and CRC-validates `path`, decoding only the checkpoint header.
+///
+/// # Errors
+///
+/// [`PebError::Io`] when the file cannot be read, [`PebError::Corrupt`]
+/// on bad magic, version, checksum or a truncated header — the same
+/// corruption classes as [`TrainCheckpoint::load`], so a file that
+/// `peek`s clean will also load (barring a race with a concurrent
+/// rewrite).
+pub fn peek(path: &Path) -> Result<CkptMeta> {
+    let _span = peb_obs::span("guard.checkpoint.peek");
+    let bytes = fs::read(path).with_ctx(|| format!("reading checkpoint {}", path.display()))?;
+    peek_bytes(&bytes).with_ctx(|| format!("peeking checkpoint {}", path.display()))
+}
+
+/// [`peek`] over an in-memory image.
+///
+/// # Errors
+///
+/// Returns [`PebError::Corrupt`] describing the first violated field.
+pub fn peek_bytes(bytes: &[u8]) -> Result<CkptMeta> {
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(PebError::corrupt(format!(
+            "checkpoint too short ({} bytes)",
+            bytes.len()
+        )));
+    }
+    let (payload, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    if &payload[..8] != MAGIC {
+        return Err(PebError::corrupt("bad checkpoint magic"));
+    }
+    let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(PebError::corrupt(format!(
+            "crc mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let mut r = Cursor {
+        bytes: payload,
+        pos: 8,
+    };
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(PebError::corrupt(format!(
+            "unsupported checkpoint version {version} (expected {VERSION})"
+        )));
+    }
+    let epoch = r.u64()?;
+    let seed = r.u64()?;
+    let opt_kind = OptKind::from_code(r.u32()?)?;
+    let _opt_t = r.u64()?;
+    let _lr_scale = r.f32()?;
+    let _rollbacks = r.u64()?;
+    let n_stats = r.len("epoch stats", 1 << 24)?;
+    // Skip the fixed-width epoch records without decoding them.
+    r.take(n_stats * 12)?;
+    let n_params = r.len("parameters", 1 << 20)? as u64;
+    Ok(CkptMeta {
+        epoch,
+        seed,
+        opt_kind,
+        n_params,
+        file_bytes: bytes.len() as u64,
+        crc: stored,
+    })
+}
+
 // --- checkpoint directory management ---------------------------------------
 
 /// File name for the checkpoint written after `epoch` completed epochs.
@@ -561,6 +656,33 @@ mod tests {
         }
         assert_eq!(decoded.opt_m, ckpt.opt_m);
         assert_eq!(decoded.opt_v, ckpt.opt_v);
+    }
+
+    #[test]
+    fn peek_matches_full_decode_and_rejects_corruption() {
+        let ckpt = sample_checkpoint();
+        let bytes = ckpt.to_bytes();
+        let meta = peek_bytes(&bytes).expect("peek decodes");
+        assert_eq!(meta.epoch, ckpt.epoch);
+        assert_eq!(meta.seed, ckpt.seed);
+        assert_eq!(meta.opt_kind, ckpt.opt_kind);
+        assert_eq!(meta.n_params, ckpt.params.len() as u64);
+        assert_eq!(meta.file_bytes, bytes.len() as u64);
+        // The fingerprint is the stored CRC footer.
+        let crc = u32::from_le_bytes([
+            bytes[bytes.len() - 4],
+            bytes[bytes.len() - 3],
+            bytes[bytes.len() - 2],
+            bytes[bytes.len() - 1],
+        ]);
+        assert_eq!(meta.crc, crc);
+        // Any corruption a full load would reject, peek rejects too.
+        let mut mangled = bytes.clone();
+        mangled[bytes.len() / 2] ^= 0x01;
+        assert!(peek_bytes(&mangled).expect_err("corrupt").is_corrupt());
+        assert!(peek_bytes(&bytes[..20])
+            .expect_err("truncated")
+            .is_corrupt());
     }
 
     #[test]

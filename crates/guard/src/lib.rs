@@ -29,7 +29,7 @@ mod checkpoint;
 mod error;
 
 pub use checkpoint::{
-    atomic_write, checkpoint_path, crc32, list_checkpoints, load_latest, prune_checkpoints,
-    EpochRecord, OptKind, TrainCheckpoint,
+    atomic_write, checkpoint_path, crc32, list_checkpoints, load_latest, peek, peek_bytes,
+    prune_checkpoints, CkptMeta, EpochRecord, OptKind, TrainCheckpoint,
 };
 pub use error::{Context, PebError, Result};

@@ -194,9 +194,21 @@ pub enum Counter {
     /// Cache-sized slab passes executed by the tiled solver/conv paths
     /// (one tick per slab actually streamed, 0 under `PEB_TILE=off`).
     SlabPasses = 17,
+    /// Inference requests accepted by `peb-serve` (shed requests are
+    /// counted under [`Counter::ServeShed`] instead).
+    ServeRequests = 18,
+    /// Dynamic batches executed by the `peb-serve` inference engine (one
+    /// tick per `predict_batch` invocation, regardless of batch size).
+    ServeBatches = 19,
+    /// Requests rejected by `peb-serve` load shedding (bounded queue
+    /// full → 429 response).
+    ServeShed = 20,
+    /// Successful checkpoint hot-swaps performed by the `peb-serve`
+    /// model registry (failed swaps keep the old model and do not tick).
+    ServeHotswaps = 21,
 }
 
-const N_COUNTERS: usize = 18;
+const N_COUNTERS: usize = 22;
 
 const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "gemm_flops",
@@ -217,6 +229,10 @@ const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "guard_checkpoints",
     "fused_ops",
     "slab_passes",
+    "serve_requests",
+    "serve_batches",
+    "serve_shed",
+    "serve_hotswaps",
 ];
 
 #[allow(clippy::declare_interior_mutable_const)]

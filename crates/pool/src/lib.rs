@@ -57,7 +57,7 @@ const BUCKET_BYTE_BUDGET: usize = 64 << 20;
 /// activations (~84 MB each) at the end of every step; if the bucket is
 /// shallower than that working set, each drop munmaps the pages and the
 /// next checkout page-faults freshly kernel-zeroed ones — measured at
-/// >80% of total CPU in system time. Depth must cover the graph's
+/// over 80% of total CPU in system time. Depth must cover the graph's
 /// same-size churn, so the floor is sized to it rather than to a byte
 /// budget. Retained memory stays bounded by what the workload actually
 /// cycled, never beyond its own previous peak.

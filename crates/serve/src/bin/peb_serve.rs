@@ -1,0 +1,31 @@
+//! Standalone serving binary: `PEB_SERVE_* peb_serve`.
+//!
+//! Binds the configured address, prints it, and serves until killed.
+
+use peb_serve::{ServeConfig, Server};
+
+fn main() {
+    let config = ServeConfig::from_env();
+    let server = match Server::start(config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("peb-serve: failed to start on {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "peb-serve listening on {} (grid {}x{}x{}, max_batch {}, max_wait {}us, queue {})",
+        server.addr(),
+        config.grid.0,
+        config.grid.1,
+        config.grid.2,
+        config.max_batch,
+        config.max_wait_us,
+        config.queue_cap,
+    );
+    // Serve forever; the process is stopped externally (CI kills it
+    // after the smoke window).
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

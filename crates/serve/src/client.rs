@@ -1,0 +1,229 @@
+//! A minimal blocking HTTP client for the serve wire format.
+//!
+//! This exists for the closed-loop load generator (`bench_serve`) and
+//! the integration tests — it exercises the server over a real TCP
+//! socket with the same keep-alive connection reuse a production
+//! client would use. It is intentionally tiny: one connection, one
+//! request in flight, `Content-Length` framing only.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use peb_tensor::Tensor;
+
+use crate::clip;
+use crate::error::ServeError;
+use crate::stats::ModelVersion;
+
+/// One keep-alive client connection.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// A parsed response: status code and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+/// Client-side failure (socket or framing).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's response violated `Content-Length` framing.
+    BadResponse(String),
+    /// The server answered with a non-200 status.
+    Status(u16, String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::BadResponse(d) => write!(f, "bad response: {d}"),
+            ClientError::Status(s, body) => write!(f, "status {s}: {}", body.trim_end()),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request and reads its complete response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failure (including the server
+    /// dropping the connection mid-response — the chaos `disconnect`
+    /// fault surfaces here), [`ClientError::BadResponse`] on framing
+    /// violations.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: peb-serve\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<ClientResponse, ClientError> {
+        let head_end = loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).to_string();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::BadResponse(format!("bad status line {status_line:?}")))?;
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((k, v)) = line.split_once(':') {
+                if k.eq_ignore_ascii_case("content-length") {
+                    content_length = v
+                        .trim()
+                        .parse()
+                        .map_err(|_| ClientError::BadResponse(format!("bad length {v:?}")))?;
+                }
+            }
+        }
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            self.fill()?;
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        Ok(ClientResponse { status, body })
+    }
+
+    fn fill(&mut self) -> Result<(), ClientError> {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    /// `POST /infer`: one clip in, one prediction out.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] carries the server's typed error body on
+    /// any non-200 (e.g. `429` when shed).
+    pub fn infer(&mut self, clip: &Tensor) -> Result<Tensor, ClientError> {
+        let r = self.request("POST", "/infer", &clip::encode_clip(clip))?;
+        if r.status != 200 {
+            return Err(ClientError::Status(
+                r.status,
+                String::from_utf8_lossy(&r.body).to_string(),
+            ));
+        }
+        clip::decode_resp(&r.body).map_err(|e: ServeError| ClientError::BadResponse(e.to_string()))
+    }
+
+    /// `POST /swap`: points the server at a new checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] on rejection (409 keeps the old model).
+    pub fn swap(&mut self, ckpt_path: &str) -> Result<ModelVersion, ClientError> {
+        let r = self.request("POST", "/swap", ckpt_path.as_bytes())?;
+        if r.status != 200 {
+            return Err(ClientError::Status(
+                r.status,
+                String::from_utf8_lossy(&r.body).to_string(),
+            ));
+        }
+        let text = String::from_utf8_lossy(&r.body).to_string();
+        parse_version_json(&text)
+            .ok_or_else(|| ClientError::BadResponse(format!("unparsable version {text:?}")))
+    }
+}
+
+/// Parses the server's `/version`-shape JSON without a JSON library
+/// (fields are flat and numeric except `source`).
+pub fn parse_version_json(s: &str) -> Option<ModelVersion> {
+    let num = |key: &str| -> Option<u64> {
+        let pat = format!("\"{key}\":");
+        let i = s.find(&pat)? + pat.len();
+        let rest = &s[i..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    };
+    let source = {
+        let pat = "\"source\":\"";
+        let i = s.find(pat)? + pat.len();
+        let rest = &s[i..];
+        let end = rest.find('"')?;
+        rest[..end].to_string()
+    };
+    Some(ModelVersion {
+        version: num("version")?,
+        epoch: num("epoch")?,
+        source,
+        crc: num("crc")? as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::version_json;
+
+    #[test]
+    fn version_json_roundtrips() {
+        let v = ModelVersion {
+            version: 3,
+            epoch: 17,
+            source: "/tmp/ckpt_17.peb".into(),
+            crc: 0x1234_5678,
+        };
+        let parsed = parse_version_json(&version_json(&v)).expect("parses");
+        assert_eq!(parsed, v);
+    }
+}

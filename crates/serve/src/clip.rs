@@ -1,0 +1,163 @@
+//! Binary clip codec for `/infer` payloads.
+//!
+//! Requests carry a `PEBCLIP1` frame, responses a `PEBRESP1` frame —
+//! both the same layout, little-endian throughout:
+//!
+//! ```text
+//! [8]  magic          b"PEBCLIP1" / b"PEBRESP1"
+//! [4]  u32 d
+//! [4]  u32 h
+//! [4]  u32 w
+//! [d·h·w·4]  f32 data, row-major [D, H, W]
+//! ```
+//!
+//! Raw `f32` bits pass through untouched in both directions, so a
+//! client can verify the serving layer's bitwise batching-invariance
+//! contract end to end (`bench_serve` does exactly that with
+//! `Tensor::bit_digest`).
+
+use peb_tensor::Tensor;
+
+use crate::error::ServeError;
+
+/// Request frame magic.
+pub const CLIP_MAGIC: &[u8; 8] = b"PEBCLIP1";
+/// Response frame magic.
+pub const RESP_MAGIC: &[u8; 8] = b"PEBRESP1";
+/// Frame header size: magic + three u32 dims.
+pub const HEADER_BYTES: usize = 8 + 3 * 4;
+
+/// Encodes a `[D, H, W]` tensor as a frame with the given magic.
+fn encode(magic: &[u8; 8], t: &Tensor) -> Vec<u8> {
+    let s = t.shape();
+    debug_assert_eq!(s.len(), 3, "clip frames are rank-3");
+    let mut out = Vec::with_capacity(HEADER_BYTES + t.len() * 4);
+    out.extend_from_slice(magic);
+    for &d in s {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for v in t.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Encodes a request frame (`PEBCLIP1`).
+pub fn encode_clip(t: &Tensor) -> Vec<u8> {
+    encode(CLIP_MAGIC, t)
+}
+
+/// Encodes a response frame (`PEBRESP1`).
+pub fn encode_resp(t: &Tensor) -> Vec<u8> {
+    encode(RESP_MAGIC, t)
+}
+
+/// Decodes a frame with the given magic into a `[D, H, W]` tensor.
+fn decode(magic: &[u8; 8], bytes: &[u8]) -> Result<Tensor, ServeError> {
+    let bad = |detail: String| ServeError::BadClip { detail };
+    if bytes.len() < HEADER_BYTES {
+        return Err(bad(format!(
+            "frame of {} bytes is shorter than the {HEADER_BYTES}-byte header",
+            bytes.len()
+        )));
+    }
+    if &bytes[..8] != magic {
+        return Err(bad(format!(
+            "bad magic {:?} (expected {:?})",
+            String::from_utf8_lossy(&bytes[..8]),
+            String::from_utf8_lossy(magic)
+        )));
+    }
+    let dim = |i: usize| -> usize {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&bytes[8 + 4 * i..8 + 4 * (i + 1)]);
+        u32::from_le_bytes(b) as usize
+    };
+    let (d, h, w) = (dim(0), dim(1), dim(2));
+    if d == 0 || h == 0 || w == 0 {
+        return Err(bad(format!("zero dimension in {d}x{h}x{w}")));
+    }
+    let n = d
+        .checked_mul(h)
+        .and_then(|x| x.checked_mul(w))
+        .ok_or_else(|| bad(format!("dimension overflow in {d}x{h}x{w}")))?;
+    let want = HEADER_BYTES + n * 4;
+    if bytes.len() != want {
+        return Err(bad(format!(
+            "{d}x{h}x{w} needs {want} bytes, frame has {}",
+            bytes.len()
+        )));
+    }
+    let data: Vec<f32> = bytes[HEADER_BYTES..]
+        .chunks_exact(4)
+        .map(|c| {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(c);
+            f32::from_le_bytes(b)
+        })
+        .collect();
+    Tensor::from_vec(data, &[d, h, w]).map_err(|e| bad(e.to_string()))
+}
+
+/// Decodes a request frame (`PEBCLIP1`).
+pub fn decode_clip(bytes: &[u8]) -> Result<Tensor, ServeError> {
+    decode(CLIP_MAGIC, bytes)
+}
+
+/// Decodes a response frame (`PEBRESP1`).
+pub fn decode_resp(bytes: &[u8]) -> Result<Tensor, ServeError> {
+    decode(RESP_MAGIC, bytes)
+}
+
+/// Exact wire size of a frame for a `(d, h, w)` clip.
+pub fn frame_bytes(dims: (usize, usize, usize)) -> usize {
+    HEADER_BYTES + dims.0 * dims.1 * dims.2 * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_bitwise() {
+        let t = Tensor::from_vec(
+            (0..2 * 3 * 4).map(|i| (i as f32).sqrt() - 1.5).collect(),
+            &[2, 3, 4],
+        )
+        .expect("tensor");
+        let back = decode_clip(&encode_clip(&t)).expect("decode");
+        assert_eq!(back.shape(), t.shape());
+        assert_eq!(back.bit_digest(), t.bit_digest());
+        let back = decode_resp(&encode_resp(&t)).expect("decode");
+        assert_eq!(back.bit_digest(), t.bit_digest());
+    }
+
+    #[test]
+    fn rejects_malformed_frames() {
+        // Too short.
+        assert!(decode_clip(b"PEBCLIP1").is_err());
+        // Wrong magic.
+        let t = Tensor::zeros(&[1, 1, 1]);
+        assert!(decode_clip(&encode_resp(&t)).is_err());
+        // Zero dim.
+        let mut frame = encode_clip(&t);
+        frame[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_clip(&frame).is_err());
+        // Length mismatch.
+        let mut frame = encode_clip(&t);
+        frame.push(0);
+        assert!(decode_clip(&frame).is_err());
+        // Dimension overflow must not panic.
+        let mut frame = encode_clip(&t);
+        for i in 0..3 {
+            frame[8 + 4 * i..12 + 4 * i].copy_from_slice(&u32::MAX.to_le_bytes());
+        }
+        assert!(decode_clip(&frame).is_err());
+    }
+
+    #[test]
+    fn frame_bytes_matches_encoding() {
+        let t = Tensor::zeros(&[4, 8, 8]);
+        assert_eq!(encode_clip(&t).len(), frame_bytes((4, 8, 8)));
+    }
+}

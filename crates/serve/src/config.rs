@@ -1,0 +1,172 @@
+//! Serving configuration (`PEB_SERVE_*` environment variables).
+
+use crate::clip;
+
+/// Model size preset used to build the served architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelPreset {
+    /// `SdmPebConfig::tiny` — tests and the smoke benchmark.
+    Tiny,
+    /// `SdmPebConfig::for_grid` — the paper-scale architecture.
+    ForGrid,
+}
+
+/// Everything the server needs to come up, with env-var overrides.
+///
+/// | env | field | default |
+/// |-----|-------|---------|
+/// | `PEB_SERVE_ADDR` | `addr` | `127.0.0.1:7878` |
+/// | `PEB_SERVE_GRID` | `grid` (`DxHxW`) | `8x16x16` |
+/// | `PEB_SERVE_MODEL` | `preset` (`tiny`/`for-grid`) | `tiny` |
+/// | `PEB_SERVE_SEED` | `seed` | `42` |
+/// | `PEB_SERVE_MAX_BATCH` | `max_batch` | `8` |
+/// | `PEB_SERVE_MAX_WAIT_US` | `max_wait_us` | `500` |
+/// | `PEB_SERVE_QUEUE` | `queue_cap` | `64` |
+/// | `PEB_SERVE_WORKERS` | `conn_workers` | `2` |
+/// | `PEB_SERVE_THREADS` | `compute_threads` | unset (peb-par default) |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 lets the OS pick — tests).
+    pub addr: String,
+    /// Model grid `(D, H, W)`; clips larger than this are rejected 413.
+    pub grid: (usize, usize, usize),
+    /// Architecture preset.
+    pub preset: ModelPreset,
+    /// Weight-init seed for the base (un-swapped) model.
+    pub seed: u64,
+    /// Upper bound on clips folded into one engine batch.
+    pub max_batch: usize,
+    /// How long the batcher waits for stragglers once one job is in
+    /// hand, in microseconds. `0` = never wait (pure greedy drain).
+    pub max_wait_us: u64,
+    /// Bounded inference queue depth; a full queue sheds with 429.
+    pub queue_cap: usize,
+    /// Connection-handling threads (each runs its own accept loop).
+    pub conn_workers: usize,
+    /// Kernel thread count forced on the engine thread (`None` = the
+    /// `peb-par` default). The batching-invariance tests pin this to 1
+    /// and 4 — results are bitwise identical either way.
+    pub compute_threads: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            grid: (8, 16, 16),
+            preset: ModelPreset::Tiny,
+            seed: 42,
+            max_batch: 8,
+            max_wait_us: 500,
+            queue_cap: 64,
+            conn_workers: 2,
+            compute_threads: None,
+        }
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+impl ServeConfig {
+    /// Defaults overridden by any set `PEB_SERVE_*` variables.
+    pub fn from_env() -> Self {
+        let mut c = ServeConfig::default();
+        if let Ok(v) = std::env::var("PEB_SERVE_ADDR") {
+            c.addr = v;
+        }
+        if let Some(g) = std::env::var("PEB_SERVE_GRID")
+            .ok()
+            .and_then(|v| parse_grid(&v))
+        {
+            c.grid = g;
+        }
+        match std::env::var("PEB_SERVE_MODEL").as_deref() {
+            Ok("for-grid" | "for_grid") => c.preset = ModelPreset::ForGrid,
+            Ok("tiny") => c.preset = ModelPreset::Tiny,
+            _ => {}
+        }
+        if let Some(v) = env_parse("PEB_SERVE_SEED") {
+            c.seed = v;
+        }
+        if let Some(v) = env_parse("PEB_SERVE_MAX_BATCH") {
+            c.max_batch = v;
+        }
+        if let Some(v) = env_parse("PEB_SERVE_MAX_WAIT_US") {
+            c.max_wait_us = v;
+        }
+        if let Some(v) = env_parse("PEB_SERVE_QUEUE") {
+            c.queue_cap = v;
+        }
+        if let Some(v) = env_parse("PEB_SERVE_WORKERS") {
+            c.conn_workers = v;
+        }
+        if let Some(v) = env_parse::<usize>("PEB_SERVE_THREADS") {
+            c.compute_threads = Some(v.max(1));
+        }
+        c.normalized()
+    }
+
+    /// Clamps degenerate values so a typo'd env var cannot wedge the
+    /// server (zero-size batches, zero workers, …).
+    pub fn normalized(mut self) -> Self {
+        self.max_batch = self.max_batch.max(1);
+        self.queue_cap = self.queue_cap.max(1);
+        self.conn_workers = self.conn_workers.max(1);
+        self
+    }
+
+    /// Largest `/infer` body the HTTP layer should accept: one frame at
+    /// the model grid, plus slack for the header.
+    pub fn max_body_bytes(&self) -> usize {
+        clip::frame_bytes(self.grid)
+    }
+}
+
+/// Parses `DxHxW` (e.g. `8x16x16`).
+pub fn parse_grid(s: &str) -> Option<(usize, usize, usize)> {
+    let mut it = s.split('x');
+    let d = it.next()?.trim().parse().ok()?;
+    let h = it.next()?.trim().parse().ok()?;
+    let w = it.next()?.trim().parse().ok()?;
+    if it.next().is_some() || d == 0 || h == 0 || w == 0 {
+        return None;
+    }
+    Some((d, h, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_parses() {
+        assert_eq!(parse_grid("8x16x16"), Some((8, 16, 16)));
+        assert_eq!(parse_grid(" 1x2x3 "), Some((1, 2, 3)));
+        assert_eq!(parse_grid("0x2x3"), None);
+        assert_eq!(parse_grid("1x2"), None);
+        assert_eq!(parse_grid("1x2x3x4"), None);
+        assert_eq!(parse_grid("axbxc"), None);
+    }
+
+    #[test]
+    fn normalized_clamps_zeros() {
+        let c = ServeConfig {
+            max_batch: 0,
+            queue_cap: 0,
+            conn_workers: 0,
+            ..ServeConfig::default()
+        }
+        .normalized();
+        assert_eq!(c.max_batch, 1);
+        assert_eq!(c.queue_cap, 1);
+        assert_eq!(c.conn_workers, 1);
+    }
+
+    #[test]
+    fn max_body_covers_exactly_one_grid_frame() {
+        let c = ServeConfig::default();
+        assert_eq!(c.max_body_bytes(), clip::frame_bytes(c.grid));
+    }
+}

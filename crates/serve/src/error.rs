@@ -1,0 +1,109 @@
+//! Typed errors for the serving layer.
+
+use std::fmt;
+
+use crate::http::HttpError;
+
+/// Everything that can go wrong between accepting a connection and
+/// writing a response. Every variant maps to a deterministic HTTP status
+/// via [`ServeError::status`]; the server never panics on a bad input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request bytes violated the HTTP/1.1 subset.
+    Http(HttpError),
+    /// The request body failed clip decoding (bad magic, dims, length).
+    BadClip {
+        /// What failed to decode.
+        detail: String,
+    },
+    /// The clip exceeds the model grid the server was configured for.
+    ClipTooLarge {
+        /// Requested dims `(d, h, w)`.
+        got: (usize, usize, usize),
+        /// Model grid dims `(d, h, w)`.
+        max: (usize, usize, usize),
+    },
+    /// The bounded inference queue is full — the request was shed.
+    Overloaded,
+    /// A checkpoint hot-swap was rejected; the previous model stays live.
+    SwapRejected {
+        /// The underlying failure (corrupt file, shape mismatch, …).
+        detail: String,
+    },
+    /// No route matches the method + target.
+    NotFound,
+    /// The route exists but not for this method.
+    MethodNotAllowed,
+    /// The inference engine is gone (shutdown or panic) — terminal.
+    EngineGone,
+}
+
+impl ServeError {
+    /// The HTTP status code this error is reported as.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::Http(e) => e.status(),
+            ServeError::BadClip { .. } => 400,
+            ServeError::ClipTooLarge { .. } => 413,
+            ServeError::Overloaded => 429,
+            ServeError::SwapRejected { .. } => 409,
+            ServeError::NotFound => 404,
+            ServeError::MethodNotAllowed => 405,
+            ServeError::EngineGone => 503,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Http(e) => write!(f, "http: {e}"),
+            ServeError::BadClip { detail } => write!(f, "bad clip payload: {detail}"),
+            ServeError::ClipTooLarge { got, max } => write!(
+                f,
+                "clip {}x{}x{} exceeds model grid {}x{}x{}",
+                got.0, got.1, got.2, max.0, max.1, max.2
+            ),
+            ServeError::Overloaded => write!(f, "inference queue full, request shed"),
+            ServeError::SwapRejected { detail } => write!(f, "hot-swap rejected: {detail}"),
+            ServeError::NotFound => write!(f, "no such route"),
+            ServeError::MethodNotAllowed => write!(f, "method not allowed on this route"),
+            ServeError::EngineGone => write!(f, "inference engine unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<HttpError> for ServeError {
+    fn from(e: HttpError) -> Self {
+        ServeError::Http(e)
+    }
+}
+
+/// Serving-layer result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_are_stable() {
+        assert_eq!(ServeError::Overloaded.status(), 429);
+        assert_eq!(
+            ServeError::SwapRejected { detail: "x".into() }.status(),
+            409
+        );
+        assert_eq!(ServeError::NotFound.status(), 404);
+        assert_eq!(ServeError::EngineGone.status(), 503);
+        assert_eq!(
+            ServeError::ClipTooLarge {
+                got: (9, 9, 9),
+                max: (4, 8, 8)
+            }
+            .status(),
+            413
+        );
+    }
+}

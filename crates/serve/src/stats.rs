@@ -1,0 +1,223 @@
+//! Lock-free serving counters, the batch-size histogram, and the live
+//! model-version record backing `/stats` and `/version`.
+//!
+//! Counters are mirrored into `peb-obs` (`serve_requests`,
+//! `serve_batches`, `serve_shed`, `serve_hotswaps`) so a `PEB_TRACE=1`
+//! run folds serving activity into the same profile as the kernels, but
+//! the local atomics here are unconditional — `/stats` must work even
+//! with tracing off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Histogram buckets: batch sizes `1..=MAX_HIST_BATCH`, larger batches
+/// collapse into the last bucket.
+pub const MAX_HIST_BATCH: usize = 32;
+
+/// The model version currently answering `/infer`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelVersion {
+    /// Monotonic version number; 0 is the seed-initialised base model,
+    /// each successful hot-swap increments it.
+    pub version: u64,
+    /// Training epoch recorded in the loaded checkpoint (0 for base).
+    pub epoch: u64,
+    /// Where the weights came from (`"seed"` or a checkpoint path).
+    pub source: String,
+    /// CRC-32 of the loaded checkpoint (0 for the seed model).
+    pub crc: u32,
+}
+
+impl ModelVersion {
+    /// The seed-initialised base model, version 0.
+    pub fn base(seed: u64) -> Self {
+        ModelVersion {
+            version: 0,
+            epoch: 0,
+            source: format!("seed:{seed}"),
+            crc: 0,
+        }
+    }
+}
+
+/// Shared serving statistics (one per server, `Arc`-cloned everywhere).
+#[derive(Debug)]
+pub struct ServeStats {
+    /// Requests that reached a terminal response (any status).
+    pub requests: AtomicU64,
+    /// Engine batches executed.
+    pub batches: AtomicU64,
+    /// Requests shed with 429 (queue full).
+    pub shed: AtomicU64,
+    /// Successful checkpoint hot-swaps.
+    pub hotswaps: AtomicU64,
+    /// Hot-swaps rejected (corrupt/mismatched checkpoint).
+    pub swaps_rejected: AtomicU64,
+    /// Batch-size histogram; index `i` counts batches of size `i + 1`
+    /// (last bucket also absorbs anything larger).
+    pub batch_hist: [AtomicU64; MAX_HIST_BATCH],
+    version: Mutex<ModelVersion>,
+}
+
+impl ServeStats {
+    /// Fresh stats advertising the seed base model.
+    pub fn new(seed: u64) -> Self {
+        ServeStats {
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            hotswaps: AtomicU64::new(0),
+            swaps_rejected: AtomicU64::new(0),
+            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            version: Mutex::new(ModelVersion::base(seed)),
+        }
+    }
+
+    /// Records one terminal response.
+    pub fn tick_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        peb_obs::count(peb_obs::Counter::ServeRequests, 1);
+    }
+
+    /// Records one executed batch of `n` clips.
+    pub fn tick_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        peb_obs::count(peb_obs::Counter::ServeBatches, 1);
+        let bucket = n.clamp(1, MAX_HIST_BATCH) - 1;
+        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one shed request.
+    pub fn tick_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        peb_obs::count(peb_obs::Counter::ServeShed, 1);
+    }
+
+    /// Records a successful hot-swap and publishes the new version.
+    pub fn tick_hotswap(&self, v: ModelVersion) {
+        self.hotswaps.fetch_add(1, Ordering::Relaxed);
+        peb_obs::count(peb_obs::Counter::ServeHotswaps, 1);
+        *self.version_guard() = v;
+    }
+
+    /// Records a rejected hot-swap (version unchanged).
+    pub fn tick_swap_rejected(&self) {
+        self.swaps_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The currently-served model version.
+    pub fn version(&self) -> ModelVersion {
+        self.version_guard().clone()
+    }
+
+    fn version_guard(&self) -> std::sync::MutexGuard<'_, ModelVersion> {
+        self.version.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Non-empty `(batch_size, count)` histogram entries.
+    pub fn batch_hist_entries(&self) -> Vec<(usize, u64)> {
+        self.batch_hist
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then_some((i + 1, n))
+            })
+            .collect()
+    }
+
+    /// Renders the `/stats` JSON body.
+    pub fn to_json(&self) -> String {
+        let v = self.version();
+        let hist: Vec<String> = self
+            .batch_hist_entries()
+            .iter()
+            .map(|(size, count)| format!("\"{size}\":{count}"))
+            .collect();
+        format!(
+            "{{\"requests\":{},\"batches\":{},\"shed\":{},\"hotswaps\":{},\"swaps_rejected\":{},\"batch_hist\":{{{}}},\"model\":{}}}",
+            self.requests.load(Ordering::Relaxed),
+            self.batches.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.hotswaps.load(Ordering::Relaxed),
+            self.swaps_rejected.load(Ordering::Relaxed),
+            hist.join(","),
+            version_json(&v),
+        )
+    }
+}
+
+/// Renders the `/version` JSON body.
+pub fn version_json(v: &ModelVersion) -> String {
+    format!(
+        "{{\"version\":{},\"epoch\":{},\"source\":{},\"crc\":{}}}",
+        v.version,
+        v.epoch,
+        json_string(&v.source),
+        v.crc
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_size() {
+        let s = ServeStats::new(7);
+        s.tick_batch(1);
+        s.tick_batch(1);
+        s.tick_batch(4);
+        s.tick_batch(MAX_HIST_BATCH + 100); // collapses into last bucket
+        assert_eq!(
+            s.batch_hist_entries(),
+            vec![(1, 2), (4, 1), (MAX_HIST_BATCH, 1)]
+        );
+    }
+
+    #[test]
+    fn version_updates_on_hotswap() {
+        let s = ServeStats::new(7);
+        assert_eq!(s.version().version, 0);
+        assert_eq!(s.version().source, "seed:7");
+        s.tick_hotswap(ModelVersion {
+            version: 1,
+            epoch: 3,
+            source: "/tmp/ckpt_3.peb".into(),
+            crc: 0xDEAD_BEEF,
+        });
+        assert_eq!(s.version().version, 1);
+        assert_eq!(s.hotswaps.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn json_is_wellformed_enough() {
+        let s = ServeStats::new(1);
+        s.tick_request();
+        s.tick_batch(2);
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"requests\":1"));
+        assert!(j.contains("\"batch_hist\":{\"2\":1}"));
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -84,6 +84,10 @@ impl Tensor {
     }
 }
 
+// Builder-style stage names intentionally mirror the elementwise tensor
+// ops they fuse; the chain is not a numeric type, so the std::ops traits
+// (which consume two operands and return a value) do not fit.
+#[allow(clippy::should_implement_trait)]
 impl<'a> FusedChain<'a> {
     fn operand(&mut self, b: &'a Tensor, make: fn(&'a [f32]) -> Stage<'a>) {
         assert_eq!(

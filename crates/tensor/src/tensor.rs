@@ -203,6 +203,22 @@ impl Tensor {
         self.data[0]
     }
 
+    /// FNV-1a digest over the exact bit patterns of every element.
+    ///
+    /// Two tensors digest equal iff their flat buffers are bitwise
+    /// identical, which is what the workspace's determinism contracts
+    /// (SIMD level, thread count, fusion, tiling, batching) compare.
+    /// The shape is deliberately excluded so a reshape of the same
+    /// buffer digests the same.
+    pub fn bit_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in &self.data {
+            h ^= v.to_bits() as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
         let mut data = alloc_cleared(self.data.len());
