@@ -402,6 +402,13 @@ fn main() {
     // Perf gates. Thread scaling cannot be demonstrated on a single
     // hardware core, so the gates require ≥4 cores (or PEB_BENCH_STRICT).
     let gates_apply = strict || cores >= 4;
+    // Self-describing artifact: when the gates are off, say exactly why
+    // instead of leaving `perf_gates_enforced: false` unexplained.
+    let gate_skip_reason = if gates_apply {
+        "null".to_string()
+    } else {
+        format!("\"hardware_cores {cores} < 4 and PEB_BENCH_STRICT unset\"")
+    };
     for (name, speedup) in &tier_speedups {
         let floor = match *name {
             "256x256x32" => 1.3,
@@ -429,6 +436,7 @@ fn main() {
             "  \"hardware_cores\": {},\n",
             "  \"tile_target_bytes\": {},\n",
             "  \"perf_gates_enforced\": {},\n",
+            "  \"gate_skip_reason\": {},\n",
             "  \"tiled_vs_untiled_bitwise_identical\": true,\n",
             "  \"slab_passes_small_tier\": {},\n",
             "  \"tiers\": [\n{}\n  ]\n",
@@ -439,6 +447,7 @@ fn main() {
         cores,
         tile_bytes.map_or_else(|| "null".into(), |b| b.to_string()),
         gates_apply,
+        gate_skip_reason,
         slab_passes,
         tier_json.join(",\n")
     );

@@ -1,0 +1,519 @@
+//! Mixed-precision benchmark: emits `BENCH_prec.json`.
+//!
+//! Measures, per precision level (`f32` / `bf16` / `int8`):
+//!
+//! * per-kernel repeat-min throughput — packed GEMM, the selective-scan
+//!   lane recurrence, and the explicit diffusion stencil — on the
+//!   detected best dispatch level;
+//! * end-to-end single-clip inference latency through `with_prec`;
+//! * parameter memory footprint (f32 storage, bf16 narrowed storage,
+//!   int8 post-training-quantized storage from the PTQ calibrator);
+//! * serve-path saturation QPS and p99 latency, f32 vs int8, each
+//!   stage preceded by a discarded warmup window;
+//! * Table-II-style metric deltas of the reduced-precision predictions
+//!   against the f32 prediction (RMSE, SSIM, CD error through the
+//!   develop chain).
+//!
+//! Gate policy follows `bench_e2e`: **accuracy gates always run** (the
+//! metric-delta budgets fail the build on any hardware), while the
+//! perf-ratio gates — bf16 GEMM ≥ 1.4× f32 and int8 serve ≥ 1.3× f32
+//! saturation QPS — require ≥4 hardware cores or `PEB_BENCH_STRICT=1`,
+//! and record a `gate_skip_reason` otherwise. The affected rows of
+//! `BENCH_e2e.json` (`infer_s`) and `BENCH_serve.json` (`qps`/`p99_ms`)
+//! are re-emitted here in the `e2e_rows` / `serve_rows` sections.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use peb_guard::{OptKind, TrainCheckpoint};
+use peb_litho::{Grid, LithoFlow, MaskConfig};
+use peb_nn::Parameterized;
+use peb_par::UnsafeSlice;
+use peb_serve::{Client, ServeConfig, Server};
+use peb_simd::{bf16, scan, stencil, Prec};
+use peb_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdm_peb::{
+    cd_error_nm, quantize_checkpoint, rmse, ssim, LabelTransform, PebPredictor, QuantBudgets,
+    SdmPeb, SdmPebConfig,
+};
+
+const MODEL_SEED: u64 = 1;
+const CLIP_SEED: u64 = 7;
+
+/// Serve-stage grid (matches the serve integration tests).
+const SERVE_GRID: (usize, usize, usize) = (4, 16, 16);
+
+fn pseudo(len: usize, salt: u32, lo: f32, hi: f32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            lo + (x as f32 / u32::MAX as f32) * (hi - lo)
+        })
+        .collect()
+}
+
+/// Repeat-min wall time of one call of `f` (single-core discipline: the
+/// minimum over `reps` repetitions rejects scheduler noise).
+fn min_time(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // untimed warmup: caches, page tables, pool buffers
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// GEMM shape under test: the im2col-style deep-K panel (`bf16`'s
+/// narrow-packed B panels stream at half the bytes, which is where the
+/// storage win pays off). Overridable as `PEB_BENCH_GEMM_SHAPE=m,k,n`.
+fn gemm_shape() -> (usize, usize, usize) {
+    if let Ok(s) = std::env::var("PEB_BENCH_GEMM_SHAPE") {
+        let d: Vec<usize> = s.split(',').filter_map(|v| v.trim().parse().ok()).collect();
+        if let [m, k, n] = d[..] {
+            return (m, k, n);
+        }
+    }
+    (256, 2048, 256)
+}
+
+/// GEMM through the deployment path — `matmul_par` with the precision
+/// latched via `with_prec`, panels fanned out over the ambient thread
+/// pool. This is the regime the bf16 storage was designed for: with
+/// several cores streaming packed panels through a shared cache, the
+/// half-width bf16 panels halve that traffic. On a single compute-bound
+/// core the same kernel pays the widening arithmetic with no bandwidth
+/// to reclaim, so bf16 < f32 there is expected (the perf gate below is
+/// hardware-gated accordingly). int8 quantizes the weight matrix once
+/// per multiply and row-quantizes activations inside the call.
+fn bench_gemm_prec() -> (f64, f64, f64) {
+    let (m, k, n) = gemm_shape();
+    let a = pseudo(m * k, 1, -1.0, 1.0);
+    let b = pseudo(k * n, 2, -1.0, 1.0);
+    let mut out = vec![0f32; m * n];
+    let flops = 2.0 * (m * k * n) as f64;
+    let mut run = |p: Prec| {
+        min_time(8, || {
+            peb_simd::with_prec(p, || {
+                peb_tensor::kernels::matmul_par(&a, &b, &mut out, m, k, n);
+            });
+        })
+    };
+    let f32_s = run(Prec::F32);
+    let bf16_s = run(Prec::Bf16);
+    let int8_s = run(Prec::Int8);
+    (
+        flops / f32_s / 1e9,
+        flops / bf16_s / 1e9,
+        flops / int8_s / 1e9,
+    )
+}
+
+/// Selective-scan forward recurrence over full lane groups, f32 vs the
+/// bf16-state variant (int8 keeps the scan in f32 by design).
+fn bench_scan_prec() -> (f64, f64) {
+    let (l, ch, n) = (256usize, 64usize, 16usize);
+    let u = pseudo(l * ch, 3, -1.0, 1.0);
+    let delta = pseudo(l * ch, 4, 0.05, 0.5);
+    let a = pseudo(ch * n, 5, -1.5, -0.2);
+    let b = pseudo(l * n, 6, -1.0, 1.0);
+    let c = pseudo(l * n, 7, -1.0, 1.0);
+    let d = pseudo(ch, 8, -1.0, 1.0);
+    let mut y = vec![0f32; l * ch];
+    let flops = 12.0 * (l * ch * n) as f64;
+    let f32_s = min_time(16, || {
+        let ys = UnsafeSlice::new(&mut y);
+        let mut apack = Vec::new();
+        let mut h = vec![0f32; n * 8];
+        for ci0 in (0..ch).step_by(8) {
+            scan::pack_a_lanes8(&a, n, ci0, &mut apack);
+            h.iter_mut().for_each(|v| *v = 0.0);
+            // SAFETY: single-threaded; lane groups are disjoint.
+            unsafe {
+                scan::scan_forward_lanes8(
+                    &u,
+                    &delta,
+                    &apack,
+                    &b,
+                    &c,
+                    &d[ci0..],
+                    &mut h,
+                    &ys,
+                    None,
+                    l,
+                    ch,
+                    n,
+                    ci0,
+                );
+            }
+        }
+    });
+    let bf16_s = min_time(16, || {
+        let ys = UnsafeSlice::new(&mut y);
+        let mut apack16 = Vec::new();
+        let mut h16 = vec![0u16; n * 8];
+        for ci0 in (0..ch).step_by(8) {
+            scan::pack_a_lanes8_bf16(&a, n, ci0, &mut apack16);
+            h16.iter_mut().for_each(|v| *v = 0);
+            // SAFETY: single-threaded; lane groups are disjoint.
+            unsafe {
+                scan::scan_forward_lanes8_bf16(
+                    &u,
+                    &delta,
+                    &apack16,
+                    &b,
+                    &c,
+                    &d[ci0..],
+                    &mut h16,
+                    &ys,
+                    None,
+                    l,
+                    ch,
+                    n,
+                    ci0,
+                );
+            }
+        }
+    });
+    (flops / f32_s / 1e9, flops / bf16_s / 1e9)
+}
+
+/// Explicit diffusion stencil over a cache-exceeding volume, mirroring
+/// one `explicit_step`: the f32 path freezes a full-width copy of the
+/// pre-step field, the bf16 path freezes a half-width narrowed copy —
+/// both the freeze and the slice updates are in the timed region, so
+/// the comparison includes exactly the per-step costs each path pays.
+fn bench_stencil_prec() -> (f64, f64) {
+    let (nz, ny, nx) = (32usize, 256usize, 256usize);
+    let field = pseudo(nz * ny * nx, 9, 0.0, 1.0);
+    let p = stencil::StencilParams {
+        rx: 0.11,
+        ry: 0.11,
+        rz: 0.2,
+        robin_top: Some((0.03, 0.0)),
+    };
+    let plane = ny * nx;
+    let mut dst = vec![0f32; nz * ny * nx];
+    // 6-point Laplacian + Euler update: ~10 flops per cell.
+    let flops = 10.0 * (nz * ny * nx) as f64;
+    let mut src32 = vec![0f32; nz * ny * nx];
+    let f32_s = min_time(16, || {
+        src32.copy_from_slice(&field);
+        for z in 0..nz {
+            stencil::explicit_slice(
+                &src32,
+                &mut dst[z * plane..(z + 1) * plane],
+                z,
+                nz,
+                ny,
+                nx,
+                p,
+            );
+        }
+    });
+    let mut src16 = Vec::new();
+    let bf16_s = min_time(16, || {
+        bf16::narrow_slice(&field, &mut src16);
+        for z in 0..nz {
+            stencil::explicit_slice_bf16(
+                &src16,
+                &mut dst[z * plane..(z + 1) * plane],
+                z,
+                nz,
+                ny,
+                nx,
+                p,
+            );
+        }
+    });
+    (flops / f32_s / 1e9, flops / bf16_s / 1e9)
+}
+
+/// One serve load stage: `conns` closed-loop clients against `addr`,
+/// all requests at `prec`. The first `warmup` of traffic keeps the
+/// sockets hot but is discarded; only requests issued inside the
+/// measured window count (same discipline as `bench_serve`).
+fn serve_stage(
+    addr: std::net::SocketAddr,
+    prec: Prec,
+    conns: usize,
+    warmup: Duration,
+    window: Duration,
+) -> (f64, f64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let measure = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicU64::new(0));
+    let mut lat_handles = Vec::new();
+    for i in 0..conns {
+        let stop = Arc::clone(&stop);
+        let measure = Arc::clone(&measure);
+        let done = Arc::clone(&done);
+        lat_handles.push(
+            std::thread::Builder::new()
+                .name(format!("prec-load-{i}"))
+                .spawn(move || {
+                    let (d, h, w) = SERVE_GRID;
+                    let clip = Tensor::from_vec(
+                        (0..d * h * w)
+                            .map(|j| ((j + i) as f32 * 0.017).sin() * 0.4 + 0.5)
+                            .collect(),
+                        &[d, h, w],
+                    )
+                    .expect("clip");
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lats = Vec::new();
+                    while !stop.load(Ordering::Acquire) {
+                        let counted = measure.load(Ordering::Acquire);
+                        let t = Instant::now();
+                        if client.infer_prec(&clip, prec).is_ok() && counted {
+                            lats.push(t.elapsed().as_secs_f64());
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    lats
+                })
+                .expect("spawn"),
+        );
+    }
+    std::thread::sleep(warmup);
+    measure.store(true, Ordering::Release);
+    let t0 = Instant::now();
+    std::thread::sleep(window);
+    measure.store(false, Ordering::Release);
+    let measured = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+    let mut lats: Vec<f64> = Vec::new();
+    for h in lat_handles {
+        lats.extend(h.join().expect("load thread"));
+    }
+    lats.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let qps = done.load(Ordering::Relaxed) as f64 / measured;
+    let p99 = if lats.is_empty() {
+        0.0
+    } else {
+        lats[((lats.len() - 1) as f64 * 0.99) as usize] * 1e3
+    };
+    (qps, p99)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let strict = std::env::var("PEB_BENCH_STRICT").as_deref() == Ok("1");
+    let gates_apply = strict || cores >= 4;
+    let gate_skip_reason = if gates_apply {
+        "null".to_string()
+    } else {
+        format!("\"hardware_cores {cores} < 4 and PEB_BENCH_STRICT unset\"")
+    };
+    println!(
+        "== bench_prec (dispatch: {}, cores: {cores}, perf gates: {gates_apply}) ==",
+        peb_simd::level().name()
+    );
+
+    // ---- per-kernel repeat-min throughput -------------------------------
+    let (gemm_f32, gemm_bf16, gemm_int8) = bench_gemm_prec();
+    let (scan_f32, scan_bf16) = bench_scan_prec();
+    let (sten_f32, sten_bf16) = bench_stencil_prec();
+    println!("  gemm    f32 {gemm_f32:7.2}  bf16 {gemm_bf16:7.2}  int8 {gemm_int8:7.2} GFLOP/s");
+    println!("  scan    f32 {scan_f32:7.2}  bf16 {scan_bf16:7.2} GFLOP/s");
+    println!("  stencil f32 {sten_f32:7.2}  bf16 {sten_bf16:7.2} GFLOP/s");
+
+    // ---- end-to-end inference per precision -----------------------------
+    // Predict-only (the serving workload): optics + Dill produce the
+    // acid field once, then the same untrained-but-seeded model runs at
+    // each precision level.
+    let grid = Grid::new(64, 64, 16, 4.0, 4.0, 6.25).expect("grid");
+    let clip = MaskConfig::demo(grid.nx).generate(CLIP_SEED).expect("clip");
+    let flow = LithoFlow::new(grid);
+    let aerial = flow.optics.aerial_image(&grid, &clip).expect("aerial");
+    let acid0 = flow.dill.photoacid(&aerial);
+    let mut rng = StdRng::seed_from_u64(MODEL_SEED);
+    let model = SdmPeb::new(
+        SdmPebConfig::for_grid((grid.nz, grid.ny, grid.nx)),
+        &mut rng,
+    );
+
+    let mut e2e_s = [0f64; 3];
+    let mut preds: Vec<Tensor> = Vec::new();
+    for (i, p) in [Prec::F32, Prec::Bf16, Prec::Int8].into_iter().enumerate() {
+        e2e_s[i] = min_time(3, || {
+            let y = peb_simd::with_prec(p, || model.predict(&acid0));
+            std::hint::black_box(&y);
+        });
+        preds.push(peb_simd::with_prec(p, || model.predict(&acid0)));
+    }
+    println!(
+        "  e2e infer  f32 {:.4}s  bf16 {:.4}s ({:.2}x)  int8 {:.4}s ({:.2}x)",
+        e2e_s[0],
+        e2e_s[1],
+        e2e_s[0] / e2e_s[1],
+        e2e_s[2],
+        e2e_s[0] / e2e_s[2]
+    );
+
+    // ---- metric-delta gates (always enforced) ---------------------------
+    // Table-II-style deltas of each reduced-precision prediction against
+    // the f32 prediction: RMSE and SSIM in label space, CD error through
+    // the full decode → develop → metrology chain. Budgets are absolute
+    // build-failing thresholds, not hardware-relative ratios, so they
+    // are enforced on every machine.
+    let label = LabelTransform {
+        kc: flow.peb.kc,
+        ..LabelTransform::paper()
+    };
+    let mut deltas = Vec::new();
+    let (_, _, cds_f32) = flow
+        .develop(&label.decode(&preds[0]), &clip)
+        .expect("develop f32");
+    // Budgets are relative to the f32 prediction's value range, so the
+    // thresholds track the field scale rather than its absolute units.
+    let (lo, hi) = preds[0]
+        .data()
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let range = (hi - lo).max(1e-6);
+    for (i, (name, max_rmse, min_ssim, max_cd_nm)) in [
+        ("bf16", 0.01f32, 0.995f32, 1.0f32),
+        ("int8", 0.05, 0.98, 2.5),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let pred = &preds[i + 1];
+        let r = rmse(pred, &preds[0]) / range;
+        let s = ssim(pred, &preds[0]);
+        let (_, _, cds) = flow
+            .develop(&label.decode(pred), &clip)
+            .expect("develop reduced");
+        let cd = cd_error_nm(&cds, &cds_f32);
+        let cd_worst = cd.x_nm.max(cd.y_nm);
+        println!(
+            "  metric-delta {name}: rmse {r:.3e} (<= {max_rmse:.0e}), ssim {s:.5} (>= {min_ssim}), cd {cd_worst:.3}nm (<= {max_cd_nm})"
+        );
+        assert!(
+            r <= max_rmse,
+            "{name} RMSE vs f32 {r} exceeds the {max_rmse} budget"
+        );
+        assert!(
+            s >= min_ssim,
+            "{name} SSIM vs f32 {s} under the {min_ssim} budget"
+        );
+        assert!(
+            cd_worst <= max_cd_nm,
+            "{name} CD delta vs f32 {cd_worst}nm exceeds the {max_cd_nm}nm budget"
+        );
+        deltas.push(format!(
+            "{{\"prec\":\"{name}\",\"rmse\":{r:.6e},\"max_rmse\":{max_rmse},\"ssim\":{s:.6},\"min_ssim\":{min_ssim},\"cd_x_nm\":{:.4},\"cd_y_nm\":{:.4},\"max_cd_nm\":{max_cd_nm},\"pass\":true}}",
+            cd.x_nm, cd.y_nm
+        ));
+    }
+
+    // ---- memory footprint per precision ---------------------------------
+    let f32_bytes: usize = model
+        .parameters()
+        .iter()
+        .map(|p| p.value_clone().data().len() * 4)
+        .sum();
+    let bf16_bytes = f32_bytes / 2;
+    let params: Vec<Tensor> = model.parameters().iter().map(|p| p.value_clone()).collect();
+    let n_params = params.len();
+    let ckpt = TrainCheckpoint {
+        epoch: 0,
+        seed: MODEL_SEED,
+        opt_kind: OptKind::Adam,
+        opt_t: 0,
+        lr_scale: 1.0,
+        rollbacks: 0,
+        epoch_stats: vec![],
+        params,
+        opt_m: vec![None; n_params],
+        opt_v: vec![None; n_params],
+        quant: None,
+    };
+    let budgets = QuantBudgets {
+        max_rmse: 0.5,
+        min_ssim: 0.0,
+    };
+    let (_, qreport) = quantize_checkpoint(&model, &ckpt, std::slice::from_ref(&acid0), budgets)
+        .expect("PTQ calibration");
+    let int8_bytes = qreport.quant_bytes;
+    println!(
+        "  memory  f32 {f32_bytes}B  bf16 {bf16_bytes}B  int8 {int8_bytes}B ({:.2}x smaller)",
+        f32_bytes as f64 / int8_bytes as f64
+    );
+    assert!(
+        int8_bytes < f32_bytes / 2,
+        "int8 PTQ storage {int8_bytes}B must beat half the f32 footprint {f32_bytes}B"
+    );
+
+    // ---- serve QPS / p99, f32 vs int8 -----------------------------------
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        grid: SERVE_GRID,
+        max_batch: 8,
+        max_wait_us: 200,
+        queue_cap: 64,
+        conn_workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("serve start");
+    let addr = server.addr();
+    let conns = 2usize;
+    let warmup = Duration::from_millis(300);
+    let window = Duration::from_millis(1200);
+    let (qps_f32, p99_f32) = serve_stage(addr, Prec::F32, conns, warmup, window);
+    let (qps_int8, p99_int8) = serve_stage(addr, Prec::Int8, conns, warmup, window);
+    server.shutdown();
+    let serve_ratio = qps_int8 / qps_f32.max(1e-9);
+    println!(
+        "  serve   f32 {qps_f32:7.1} qps / p99 {p99_f32:6.2}ms   int8 {qps_int8:7.1} qps / p99 {p99_int8:6.2}ms ({serve_ratio:.2}x)"
+    );
+
+    // ---- perf gates (hardware-gated) ------------------------------------
+    let gemm_ratio = gemm_bf16 / gemm_f32.max(1e-9);
+    if gates_apply {
+        assert!(
+            gemm_ratio >= 1.4,
+            "bf16 GEMM at {gemm_ratio:.2}x f32 is under the 1.4x gate"
+        );
+        assert!(
+            serve_ratio >= 1.3,
+            "int8 serve at {serve_ratio:.2}x f32 QPS is under the 1.3x gate"
+        );
+        println!("  perf gates: bf16 gemm {gemm_ratio:.2}x (>= 1.4), int8 serve {serve_ratio:.2}x (>= 1.3)");
+    } else {
+        println!("  perf gates skipped: {gate_skip_reason}");
+    }
+
+    // ---- emit ------------------------------------------------------------
+    let json = format!(
+        "{{\n  \"bench\": \"prec\",\n  \"dispatch\": \"{}\",\n  \"hardware_cores\": {cores},\n  \"perf_gates_enforced\": {gates_apply},\n  \"gate_skip_reason\": {gate_skip_reason},\n  \"kernels\": {{\n    \"gemm_gflops\": {{\"f32\": {gemm_f32:.3}, \"bf16\": {gemm_bf16:.3}, \"int8\": {gemm_int8:.3}, \"bf16_speedup\": {gemm_ratio:.3}, \"int8_speedup\": {:.3}}},\n    \"scan_gflops\": {{\"f32\": {scan_f32:.3}, \"bf16\": {scan_bf16:.3}, \"bf16_speedup\": {:.3}}},\n    \"stencil_gflops\": {{\"f32\": {sten_f32:.3}, \"bf16\": {sten_bf16:.3}, \"bf16_speedup\": {:.3}}}\n  }},\n  \"e2e_rows\": {{\"grid\": \"{}x{}x{}\", \"infer_s\": {{\"f32\": {:.6}, \"bf16\": {:.6}, \"int8\": {:.6}}}, \"bf16_speedup\": {:.3}, \"int8_speedup\": {:.3}}},\n  \"memory_bytes\": {{\"f32\": {f32_bytes}, \"bf16\": {bf16_bytes}, \"int8\": {int8_bytes}}},\n  \"metric_delta\": [{}],\n  \"serve_rows\": {{\"grid\": \"{}x{}x{}\", \"conns\": {conns}, \"warmup_s\": {:.3}, \"window_s\": {:.3}, \"stages\": [{{\"prec\": \"f32\", \"qps\": {qps_f32:.2}, \"p99_ms\": {p99_f32:.3}}}, {{\"prec\": \"int8\", \"qps\": {qps_int8:.2}, \"p99_ms\": {p99_int8:.3}}}], \"int8_qps_speedup\": {serve_ratio:.3}}}\n}}\n",
+        peb_simd::level().name(),
+        gemm_int8 / gemm_f32.max(1e-9),
+        scan_bf16 / scan_f32.max(1e-9),
+        sten_bf16 / sten_f32.max(1e-9),
+        grid.nx,
+        grid.ny,
+        grid.nz,
+        e2e_s[0],
+        e2e_s[1],
+        e2e_s[2],
+        e2e_s[0] / e2e_s[1].max(1e-9),
+        e2e_s[0] / e2e_s[2].max(1e-9),
+        deltas.join(","),
+        SERVE_GRID.2,
+        SERVE_GRID.1,
+        SERVE_GRID.0,
+        warmup.as_secs_f64(),
+        window.as_secs_f64(),
+    );
+    std::fs::write("BENCH_prec.json", &json).expect("write BENCH_prec.json");
+    println!("wrote BENCH_prec.json");
+}

@@ -10,10 +10,16 @@
 //! bit, and a swap must never corrupt an in-flight request.
 //!
 //! Knobs: `PEB_SERVE_BENCH_SECS` (window per stage, default 2),
-//! `PEB_SERVE_BENCH_CONNS` (comma list, default `1,2,4`),
+//! `PEB_SERVE_BENCH_WARMUP_SECS` (discarded warmup per stage, default
+//! 0.5), `PEB_SERVE_BENCH_CONNS` (comma list, default `1,2,4`),
 //! `PEB_SERVE_MAX_BATCH` / `PEB_SERVE_MAX_WAIT_US` / `PEB_SERVE_QUEUE`
 //! feed straight into the server config. The queue is sized normally,
 //! so shed (429) counts appear in the JSON when the box saturates.
+//!
+//! Each stage runs an untimed warmup window at its own concurrency
+//! first — connection setup, parser cold paths, and pool growth land
+//! there instead of in the measured p50/p99 (the latency-side analogue
+//! of bench_e2e's repeat-min discipline).
 
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -86,20 +92,32 @@ fn write_swap_checkpoint() -> PathBuf {
         params,
         opt_m: vec![None; n],
         opt_v: vec![None; n],
+        quant: None,
     };
     let path = std::env::temp_dir().join(format!("peb_bench_serve_{}.ckpt", std::process::id()));
     ckpt.save(&path).expect("save swap checkpoint");
     path
 }
 
-/// One closed-loop stage at `conns` concurrent connections. Returns the
-/// stage summary; panics on a digest violation.
-fn run_stage(addr: SocketAddr, conns: usize, window: Duration, ok_digests: &[u64]) -> StageResult {
+/// One closed-loop stage at `conns` concurrent connections. The first
+/// `warmup` of wall time runs the identical loop with its latencies
+/// discarded (cold connections, parser and pool warm-up), then the
+/// measured `window` starts. Returns the stage summary; panics on a
+/// digest violation.
+fn run_stage(
+    addr: SocketAddr,
+    conns: usize,
+    warmup: Duration,
+    window: Duration,
+    ok_digests: &[u64],
+) -> StageResult {
     let stop = Arc::new(AtomicBool::new(false));
+    let measure = Arc::new(AtomicBool::new(false));
     let clip = test_clip();
     let workers: Vec<_> = (0..conns)
         .map(|_| {
             let stop = Arc::clone(&stop);
+            let measure = Arc::clone(&measure);
             let clip = clip.clone();
             let ok = ok_digests.to_vec();
             std::thread::spawn(move || {
@@ -107,19 +125,28 @@ fn run_stage(addr: SocketAddr, conns: usize, window: Duration, ok_digests: &[u64
                 let mut lat_us: Vec<f64> = Vec::new();
                 let (mut shed, mut errors) = (0u64, 0u64);
                 while !stop.load(Ordering::Relaxed) {
+                    let measured = measure.load(Ordering::Relaxed);
                     let t0 = Instant::now();
                     match client.infer(&clip) {
                         Ok(y) => {
-                            lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                            if measured {
+                                lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                            }
                             let d = y.bit_digest();
                             assert!(
                                 ok.contains(&d),
                                 "response bits match no legitimate model version"
                             );
                         }
-                        Err(ClientError::Status(429, _)) => shed += 1,
+                        Err(ClientError::Status(429, _)) => {
+                            if measured {
+                                shed += 1;
+                            }
+                        }
                         Err(_) => {
-                            errors += 1;
+                            if measured {
+                                errors += 1;
+                            }
                             // The connection may be poisoned; reconnect.
                             match Client::connect(addr) {
                                 Ok(c) => client = c,
@@ -132,6 +159,8 @@ fn run_stage(addr: SocketAddr, conns: usize, window: Duration, ok_digests: &[u64
             })
         })
         .collect();
+    std::thread::sleep(warmup);
+    measure.store(true, Ordering::Relaxed);
     let t0 = Instant::now();
     std::thread::sleep(window);
     stop.store(true, Ordering::Relaxed);
@@ -162,6 +191,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2.0);
+    let warmup_s: f64 = std::env::var("PEB_SERVE_BENCH_WARMUP_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.5);
     let conns_list: Vec<usize> = std::env::var("PEB_SERVE_BENCH_CONNS")
         .unwrap_or_else(|_| "1,2,4".to_string())
         .split(',')
@@ -170,6 +203,7 @@ fn main() {
         .collect();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let window = Duration::from_secs_f64(window_s);
+    let warmup = Duration::from_secs_f64(warmup_s);
 
     let mut config = ServeConfig::from_env();
     config.addr = "127.0.0.1:0".into();
@@ -205,7 +239,8 @@ fn main() {
         // Fire a hot-swap mid-window at the highest concurrency stage.
         let swapper = (i == last).then(|| {
             let path = ckpt_path.clone();
-            let half = window / 2;
+            // Land the swap mid-way through the *measured* window.
+            let half = warmup + window / 2;
             std::thread::spawn(move || {
                 std::thread::sleep(half);
                 let mut c = Client::connect(addr).expect("connect");
@@ -213,7 +248,7 @@ fn main() {
                     .expect("hot-swap under load")
             })
         });
-        let r = run_stage(addr, conns, window, &ok_digests);
+        let r = run_stage(addr, conns, warmup, window, &ok_digests);
         if let Some(s) = swapper {
             let v = s.join().expect("swapper thread");
             println!(
@@ -239,6 +274,35 @@ fn main() {
     assert!(hotswaps >= 1, "the under-load hot-swap must have landed");
     assert!(!hist.is_empty(), "batch histogram must not be empty");
 
+    // Conns-scaling gate: more offered load must not collapse
+    // throughput (batching should absorb it). Meaningless on boxes
+    // where clients and the engine fight over one core, so the gate
+    // requires ≥4 cores or PEB_BENCH_STRICT=1 — and the artifact says
+    // which case it was in.
+    let strict = std::env::var("PEB_BENCH_STRICT").as_deref() == Ok("1");
+    let scaling_gate_applies = (strict || cores >= 4) && stages.len() >= 2;
+    let gate_skip_reason = if scaling_gate_applies {
+        "null".to_string()
+    } else if stages.len() < 2 {
+        "\"fewer than 2 concurrency stages configured\"".to_string()
+    } else {
+        format!("\"hardware_cores {cores} < 4 and PEB_BENCH_STRICT unset\"")
+    };
+    if scaling_gate_applies {
+        let first = stages.first().map_or(0.0, |s| s.qps);
+        let last_qps = stages.last().map_or(0.0, |s| s.qps);
+        let ratio = last_qps / first.max(1e-9);
+        assert!(
+            ratio >= 0.9,
+            "throughput collapsed under load: {ratio:.2}x from {} to {} conns",
+            stages.first().map_or(0, |s| s.conns),
+            stages.last().map_or(0, |s| s.conns),
+        );
+        println!("  conns-scaling gate: {ratio:.2}x (>= 0.9x)");
+    } else {
+        println!("  conns-scaling gate skipped: {gate_skip_reason}");
+    }
+
     let stages_json: Vec<String> = stages
         .iter()
         .map(|s| {
@@ -253,7 +317,7 @@ fn main() {
         .map(|(size, count)| format!("\"{size}\":{count}"))
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"grid\": \"{}x{}x{}\",\n  \"max_batch\": {},\n  \"max_wait_us\": {},\n  \"queue_cap\": {},\n  \"hardware_cores\": {},\n  \"window_s\": {},\n  \"stages\": [{}],\n  \"saturation_qps\": {:.2},\n  \"batch_hist\": {{{}}},\n  \"hotswaps\": {},\n  \"shed_total\": {},\n  \"digest_ok\": true\n}}\n",
+        "{{\n  \"bench\": \"serve\",\n  \"grid\": \"{}x{}x{}\",\n  \"max_batch\": {},\n  \"max_wait_us\": {},\n  \"queue_cap\": {},\n  \"hardware_cores\": {},\n  \"window_s\": {},\n  \"warmup_s\": {},\n  \"conns_scaling_enforced\": {},\n  \"gate_skip_reason\": {},\n  \"stages\": [{}],\n  \"saturation_qps\": {:.2},\n  \"batch_hist\": {{{}}},\n  \"hotswaps\": {},\n  \"shed_total\": {},\n  \"digest_ok\": true\n}}\n",
         GRID.0,
         GRID.1,
         GRID.2,
@@ -262,6 +326,9 @@ fn main() {
         config.queue_cap,
         cores,
         window_s,
+        warmup_s,
+        scaling_gate_applies,
+        gate_skip_reason,
         stages_json.join(","),
         saturation_qps,
         hist_json.join(","),

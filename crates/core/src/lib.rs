@@ -39,6 +39,7 @@ mod label;
 mod loss;
 mod metrics;
 mod model;
+pub mod quant;
 mod solver;
 mod train;
 
@@ -47,8 +48,9 @@ pub use encoder::{EncoderStage, EncoderStageConfig};
 pub use fusion::FeatureFusion;
 pub use label::LabelTransform;
 pub use loss::{LossBreakdown, PebLoss, Reduction};
-pub use metrics::{cd_error_nm, cd_histogram, nrmse, rmse, CdErrorStats, CD_BUCKET_LABELS};
+pub use metrics::{cd_error_nm, cd_histogram, nrmse, rmse, ssim, CdErrorStats, CD_BUCKET_LABELS};
 pub use model::{SdmPeb, SdmPebConfig};
 pub use peb_guard::{PebError, Result};
+pub use quant::{checkpoint_params, quantize_checkpoint, QuantBudgets, QuantReport};
 pub use solver::{restore_parameters, PebPredictor};
 pub use train::{EpochStats, GuardConfig, TrainConfig, TrainReport, Trainer};

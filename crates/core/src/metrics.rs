@@ -38,6 +38,73 @@ pub fn nrmse(pred: &Tensor, truth: &Tensor) -> f32 {
     (num / den).sqrt() as f32
 }
 
+/// Mean structural similarity between two `[Z, Y, X]` volumes, averaged
+/// over per-z-slice SSIM maps computed with an 8×8 uniform window
+/// (stride 1, interior windows only; slices smaller than the window
+/// fall back to one full-slice window).
+///
+/// Uses the standard constants `C1 = (0.01·L)²`, `C2 = (0.03·L)²` with
+/// the dynamic range `L` taken from the reference volume's value span
+/// (`max − min`, floored at a tiny epsilon so constant volumes compare
+/// equal → SSIM 1). Identical volumes score exactly 1; the score falls
+/// toward 0 as structure decorrelates. This is the fidelity metric the
+/// litho-simulation literature reports alongside RMSE, and the one the
+/// precision-delta gates consume.
+///
+/// # Panics
+///
+/// Panics on shape mismatch, non-3-D input, or empty tensors.
+pub fn ssim(pred: &Tensor, truth: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "ssim shape mismatch");
+    assert_eq!(pred.rank(), 3, "ssim expects [Z, Y, X] volumes");
+    assert!(!pred.is_empty(), "ssim of empty tensors");
+    let (nz, ny, nx) = (pred.shape()[0], pred.shape()[1], pred.shape()[2]);
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in truth.data() {
+        lo = lo.min(v as f64);
+        hi = hi.max(v as f64);
+    }
+    let range = (hi - lo).max(1e-12);
+    let c1 = (0.01 * range) * (0.01 * range);
+    let c2 = (0.03 * range) * (0.03 * range);
+    const WIN: usize = 8;
+    let (wy, wx) = (WIN.min(ny), WIN.min(nx));
+    let inv_n = 1.0 / (wy * wx) as f64;
+    let plane = ny * nx;
+    let mut acc = 0f64;
+    let mut windows = 0u64;
+    for z in 0..nz {
+        let p = &pred.data()[z * plane..(z + 1) * plane];
+        let t = &truth.data()[z * plane..(z + 1) * plane];
+        for y0 in 0..=(ny - wy) {
+            for x0 in 0..=(nx - wx) {
+                let (mut sp, mut st, mut spp, mut stt, mut spt) = (0f64, 0f64, 0f64, 0f64, 0f64);
+                for y in y0..y0 + wy {
+                    for x in x0..x0 + wx {
+                        let a = p[y * nx + x] as f64;
+                        let b = t[y * nx + x] as f64;
+                        sp += a;
+                        st += b;
+                        spp += a * a;
+                        stt += b * b;
+                        spt += a * b;
+                    }
+                }
+                let (mp, mt) = (sp * inv_n, st * inv_n);
+                let vp = (spp * inv_n - mp * mp).max(0.0);
+                let vt = (stt * inv_n - mt * mt).max(0.0);
+                let cov = spt * inv_n - mp * mt;
+                let s = ((2.0 * mp * mt + c1) * (2.0 * cov + c2))
+                    / ((mp * mp + mt * mt + c1) * (vp + vt + c2));
+                acc += s;
+                windows += 1;
+            }
+        }
+    }
+    (acc / windows as f64) as f32
+}
+
 /// Per-axis CD error statistics across a set of contacts (Eq. 14).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CdErrorStats {
@@ -145,6 +212,27 @@ mod tests {
         let scaled = nrmse(&pred.mul_scalar(10.0), &truth.mul_scalar(10.0));
         assert!((base - scaled).abs() < 1e-6);
         assert!((base - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ssim_bounds_and_sensitivity() {
+        let v = Tensor::from_fn(&[3, 12, 12], |i| ((i * 37) % 97) as f32 / 97.0);
+        // Identity scores exactly 1.
+        assert!((ssim(&v, &v) - 1.0).abs() < 1e-6);
+        // Mild noise stays high but below 1; gross distortion falls
+        // well below the mild score.
+        let mild = v.map(|x| x + 0.01 * (x * 31.0).sin());
+        let gross = v.map(|x| 1.0 - x);
+        let s_mild = ssim(&mild, &v);
+        let s_gross = ssim(&gross, &v);
+        assert!(s_mild < 1.0 && s_mild > 0.9, "mild {s_mild}");
+        assert!(s_gross < s_mild - 0.2, "gross {s_gross} vs mild {s_mild}");
+        // Constant volumes (zero range) compare equal.
+        let flat = Tensor::full(&[2, 4, 4], 0.5);
+        assert!((ssim(&flat, &flat) - 1.0).abs() < 1e-6);
+        // Slices smaller than the window still work.
+        let tiny = Tensor::from_fn(&[2, 3, 5], |i| i as f32);
+        assert!((ssim(&tiny, &tiny) - 1.0).abs() < 1e-6);
     }
 
     #[test]

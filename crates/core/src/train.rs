@@ -491,6 +491,7 @@ impl Trainer {
             params: snapshot.params.clone(),
             opt_m: snapshot.opt.m.clone(),
             opt_v: snapshot.opt.v.clone(),
+            quant: None,
         };
         let path = peb_guard::checkpoint_path(dir, ckpt.epoch);
         ckpt.save(&path)

@@ -39,6 +39,11 @@ use crate::error::{Context, PebError, Result};
 
 const MAGIC: &[u8; 8] = b"PEBCKPT1";
 const VERSION: u32 = 1;
+/// Version written when a quantized-weight section is present. A
+/// checkpoint with `quant: None` still writes version 1 **byte for
+/// byte** — the upgrade is strictly additive, and every pre-existing
+/// file remains readable.
+const VERSION_QUANT: u32 = 2;
 
 /// Optimiser family stored in a checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +81,44 @@ pub struct EpochRecord {
     pub skipped_batches: u64,
 }
 
+/// A per-channel absmax-quantized parameter tensor as stored in a
+/// version-2 checkpoint. `peb-guard` treats this as opaque data — the
+/// quantization/dequantization semantics (symmetric int8, per
+/// output-channel scales over the leading axis) live with the consumer
+/// (`sdm_peb_core::quant`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantTensor {
+    /// Original (dequantized) tensor shape.
+    pub shape: Vec<usize>,
+    /// One dequantization scale per output channel (`shape[0]` entries).
+    pub scales: Vec<f32>,
+    /// Row-major int8 codes, one per original element.
+    pub codes: Vec<i8>,
+}
+
+impl QuantTensor {
+    /// Number of elements the dequantized tensor holds.
+    pub fn len(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One parameter slot of a quantized checkpoint: rank ≥ 2 weights carry
+/// int8 codes, everything else (biases, scalars — where quantization
+/// saves nothing and costs accuracy) stays full f32.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantSlot {
+    /// Full-precision parameter (rank ≤ 1, or excluded from PTQ).
+    F32(Tensor),
+    /// Per-channel absmax int8 parameter.
+    I8(QuantTensor),
+}
+
 /// Full training state at an epoch boundary.
 ///
 /// Restoring every field reproduces the uninterrupted trajectory
@@ -105,6 +148,12 @@ pub struct TrainCheckpoint {
     pub opt_m: Vec<Option<Tensor>>,
     /// Second moments (Adam only), per parameter.
     pub opt_v: Vec<Option<Tensor>>,
+    /// Post-training-quantized weights, written as a version-2 tagged
+    /// section. `None` (every training checkpoint) keeps the file at
+    /// version 1, byte-identical to the pre-quantization format. A
+    /// quantized serving checkpoint carries one slot per parameter here
+    /// and leaves `params` empty — consumers restore by dequantizing.
+    pub quant: Option<Vec<QuantSlot>>,
 }
 
 impl TrainCheckpoint {
@@ -138,7 +187,14 @@ impl TrainCheckpoint {
         let mut w =
             Vec::with_capacity(1024 + 4 * self.params.iter().map(Tensor::len).sum::<usize>());
         w.extend_from_slice(MAGIC);
-        put_u32(&mut w, VERSION);
+        put_u32(
+            &mut w,
+            if self.quant.is_some() {
+                VERSION_QUANT
+            } else {
+                VERSION
+            },
+        );
         put_u64(&mut w, self.epoch);
         put_u64(&mut w, self.seed);
         put_u32(&mut w, self.opt_kind.code());
@@ -156,6 +212,30 @@ impl TrainCheckpoint {
         }
         put_opt_tensors(&mut w, &self.opt_m);
         put_opt_tensors(&mut w, &self.opt_v);
+        if let Some(slots) = &self.quant {
+            put_u64(&mut w, slots.len() as u64);
+            for slot in slots {
+                match slot {
+                    QuantSlot::F32(t) => {
+                        w.push(0);
+                        put_tensor(&mut w, t);
+                    }
+                    QuantSlot::I8(q) => {
+                        w.push(1);
+                        put_u64(&mut w, q.shape.len() as u64);
+                        for &d in &q.shape {
+                            put_u64(&mut w, d as u64);
+                        }
+                        put_u64(&mut w, q.scales.len() as u64);
+                        for &s in &q.scales {
+                            put_f32(&mut w, s);
+                        }
+                        put_u64(&mut w, q.codes.len() as u64);
+                        w.extend(q.codes.iter().map(|&c| c as u8));
+                    }
+                }
+            }
+        }
         let crc = crc32(&w);
         put_u32(&mut w, crc);
         w
@@ -189,9 +269,9 @@ impl TrainCheckpoint {
             pos: 8,
         };
         let version = r.u32()?;
-        if version != VERSION {
+        if version != VERSION && version != VERSION_QUANT {
             return Err(PebError::corrupt(format!(
-                "unsupported checkpoint version {version} (expected {VERSION})"
+                "unsupported checkpoint version {version} (expected {VERSION} or {VERSION_QUANT})"
             )));
         }
         let epoch = r.u64()?;
@@ -215,6 +295,11 @@ impl TrainCheckpoint {
         }
         let opt_m = r.opt_tensors()?;
         let opt_v = r.opt_tensors()?;
+        let quant = if version >= VERSION_QUANT {
+            Some(r.quant_slots()?)
+        } else {
+            None
+        };
         if r.pos != payload.len() {
             return Err(PebError::corrupt(format!(
                 "{} trailing bytes after checkpoint payload",
@@ -232,6 +317,7 @@ impl TrainCheckpoint {
             params,
             opt_m,
             opt_v,
+            quant,
         })
     }
 }
@@ -261,6 +347,9 @@ pub struct CkptMeta {
     /// The validated CRC-32 — a stable content fingerprint, usable as a
     /// version identity for hot-swap registries.
     pub crc: u32,
+    /// Wire-format version: 1 = plain f32, 2 = carries a quantized
+    /// weight section (`n_params` is then typically 0).
+    pub version: u32,
 }
 
 /// Reads and CRC-validates `path`, decoding only the checkpoint header.
@@ -306,9 +395,9 @@ pub fn peek_bytes(bytes: &[u8]) -> Result<CkptMeta> {
         pos: 8,
     };
     let version = r.u32()?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_QUANT {
         return Err(PebError::corrupt(format!(
-            "unsupported checkpoint version {version} (expected {VERSION})"
+            "unsupported checkpoint version {version} (expected {VERSION} or {VERSION_QUANT})"
         )));
     }
     let epoch = r.u64()?;
@@ -328,6 +417,7 @@ pub fn peek_bytes(bytes: &[u8]) -> Result<CkptMeta> {
         n_params,
         file_bytes: bytes.len() as u64,
         crc: stored,
+        version,
     })
 }
 
@@ -597,6 +687,48 @@ impl Cursor<'_> {
         }
         Ok(out)
     }
+
+    fn quant_slots(&mut self) -> Result<Vec<QuantSlot>> {
+        let n = self.len("quantized slots", 1 << 20)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(match self.u8()? {
+                0 => QuantSlot::F32(self.tensor()?),
+                1 => {
+                    let rank = self.len("quant tensor rank", 8)?;
+                    let mut shape = Vec::with_capacity(rank);
+                    for _ in 0..rank {
+                        shape.push(self.len("quant tensor dim", 1 << 30)?);
+                    }
+                    let total: usize = shape.iter().product();
+                    if total > 1 << 30 {
+                        return Err(PebError::corrupt(format!(
+                            "implausible quant tensor size {total}"
+                        )));
+                    }
+                    let n_scales = self.len("quant scales", 1 << 30)?;
+                    let mut scales = Vec::with_capacity(n_scales);
+                    for _ in 0..n_scales {
+                        scales.push(self.f32()?);
+                    }
+                    let n_codes = self.len("quant codes", 1 << 30)?;
+                    if n_codes != total {
+                        return Err(PebError::corrupt(format!(
+                            "quant code count {n_codes} disagrees with shape product {total}"
+                        )));
+                    }
+                    let codes = self.take(n_codes)?.iter().map(|&b| b as i8).collect();
+                    QuantSlot::I8(QuantTensor {
+                        shape,
+                        scales,
+                        codes,
+                    })
+                }
+                tag => return Err(PebError::corrupt(format!("bad quantized slot tag {tag}"))),
+            });
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -627,6 +759,7 @@ mod tests {
             ],
             opt_m: vec![Some(Tensor::full(&[2, 3], 1e-9)), None],
             opt_v: vec![Some(Tensor::full(&[2, 3], f32::MIN_POSITIVE)), None],
+            quant: None,
         }
     }
 
@@ -656,6 +789,52 @@ mod tests {
         }
         assert_eq!(decoded.opt_m, ckpt.opt_m);
         assert_eq!(decoded.opt_v, ckpt.opt_v);
+    }
+
+    #[test]
+    fn unquantized_checkpoints_stay_version_1() {
+        // The v2 upgrade must not move a single byte of a training
+        // checkpoint: version stays 1 and no trailing section appears.
+        let bytes = sample_checkpoint().to_bytes();
+        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        assert_eq!(version, 1);
+        let meta = peek_bytes(&bytes).expect("peek");
+        assert_eq!(meta.version, 1);
+    }
+
+    #[test]
+    fn quantized_checkpoint_roundtrips_as_version_2() {
+        let mut ckpt = sample_checkpoint();
+        ckpt.params.clear();
+        ckpt.opt_m.clear();
+        ckpt.opt_v.clear();
+        ckpt.quant = Some(vec![
+            QuantSlot::I8(QuantTensor {
+                shape: vec![2, 3],
+                scales: vec![0.25, 0.5],
+                codes: vec![1, -2, 3, -4, 5, -127],
+            }),
+            QuantSlot::F32(Tensor::from_fn(&[3], |i| i as f32 * 0.5)),
+        ]);
+        let bytes = ckpt.to_bytes();
+        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        assert_eq!(version, 2);
+        let meta = peek_bytes(&bytes).expect("peek accepts v2");
+        assert_eq!(meta.version, 2);
+        assert_eq!(meta.n_params, 0);
+        let back = TrainCheckpoint::from_bytes(&bytes).expect("v2 decodes");
+        assert_eq!(back.quant, ckpt.quant);
+        assert!(back.params.is_empty());
+        // Code count must agree with the shape product.
+        let mut bad = ckpt.clone();
+        if let Some(slots) = &mut bad.quant {
+            if let QuantSlot::I8(q) = &mut slots[0] {
+                q.codes.pop();
+            }
+        }
+        assert!(TrainCheckpoint::from_bytes(&bad.to_bytes())
+            .expect_err("mismatched code count")
+            .is_corrupt());
     }
 
     #[test]

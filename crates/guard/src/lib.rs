@@ -30,6 +30,6 @@ mod error;
 
 pub use checkpoint::{
     atomic_write, checkpoint_path, crc32, list_checkpoints, load_latest, peek, peek_bytes,
-    prune_checkpoints, CkptMeta, EpochRecord, OptKind, TrainCheckpoint,
+    prune_checkpoints, CkptMeta, EpochRecord, OptKind, QuantSlot, QuantTensor, TrainCheckpoint,
 };
 pub use error::{Context, PebError, Result};

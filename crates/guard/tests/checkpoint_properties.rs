@@ -75,6 +75,7 @@ fn random_checkpoint(seed: u64) -> TrainCheckpoint {
         params,
         opt_m,
         opt_v,
+        quant: None,
     }
 }
 

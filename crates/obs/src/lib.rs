@@ -206,9 +206,13 @@ pub enum Counter {
     /// Successful checkpoint hot-swaps performed by the `peb-serve`
     /// model registry (failed swaps keep the old model and do not tick).
     ServeHotswaps = 21,
+    /// Kernel invocations that dispatched to a reduced-precision path
+    /// (bf16 storage or int8 quantized); stays 0 under `PEB_PREC=f32`
+    /// when no request/test opts into a lower precision.
+    PrecDispatch = 22,
 }
 
-const N_COUNTERS: usize = 22;
+const N_COUNTERS: usize = 23;
 
 const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "gemm_flops",
@@ -233,6 +237,7 @@ const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "serve_batches",
     "serve_shed",
     "serve_hotswaps",
+    "prec_dispatch",
 ];
 
 #[allow(clippy::declare_interior_mutable_const)]

@@ -105,6 +105,8 @@ impl_poolable!(f32);
 impl_poolable!(f64);
 impl_poolable!(u64);
 impl_poolable!(u32);
+impl_poolable!(u16);
+impl_poolable!(i8);
 impl_poolable!(usize);
 
 const ENABLED_UNINIT: u8 = u8::MAX;

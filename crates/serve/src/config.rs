@@ -24,6 +24,7 @@ pub enum ModelPreset {
 /// | `PEB_SERVE_QUEUE` | `queue_cap` | `64` |
 /// | `PEB_SERVE_WORKERS` | `conn_workers` | `2` |
 /// | `PEB_SERVE_THREADS` | `compute_threads` | unset (peb-par default) |
+/// | `PEB_SERVE_PREC` | `default_prec` (`f32`/`bf16`/`int8`) | `f32` |
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Bind address (`host:port`; port 0 lets the OS pick — tests).
@@ -47,6 +48,11 @@ pub struct ServeConfig {
     /// `peb-par` default). The batching-invariance tests pin this to 1
     /// and 4 — results are bitwise identical either way.
     pub compute_threads: Option<usize>,
+    /// Compute precision for requests that do not select one with
+    /// `?prec=` (DESIGN §13). Unlike the training-side `PEB_PREC`
+    /// latch, `int8` is a valid serving default — inference-only
+    /// dynamic quantisation is exactly the serving use case.
+    pub default_prec: peb_simd::Prec,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +67,7 @@ impl Default for ServeConfig {
             queue_cap: 64,
             conn_workers: 2,
             compute_threads: None,
+            default_prec: peb_simd::Prec::F32,
         }
     }
 }
@@ -104,6 +111,12 @@ impl ServeConfig {
         }
         if let Some(v) = env_parse::<usize>("PEB_SERVE_THREADS") {
             c.compute_threads = Some(v.max(1));
+        }
+        if let Some(p) = std::env::var("PEB_SERVE_PREC")
+            .ok()
+            .and_then(|v| peb_simd::Prec::parse(&v))
+        {
+            c.default_prec = p;
         }
         c.normalized()
     }

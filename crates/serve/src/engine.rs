@@ -50,6 +50,9 @@ const IDLE_POLL: Duration = Duration::from_millis(20);
 /// One inference request travelling to the engine thread.
 struct InferJob {
     clip: Tensor,
+    /// Compute precision this request selected (`?prec=`, or the
+    /// server default).
+    prec: peb_simd::Prec,
     reply: SyncSender<Result<Tensor, ServeError>>,
 }
 
@@ -69,11 +72,12 @@ pub struct EngineHandle {
     ctrl: Sender<CtrlMsg>,
     stats: Arc<ServeStats>,
     grid: (usize, usize, usize),
+    default_prec: peb_simd::Prec,
 }
 
 impl EngineHandle {
-    /// Runs one clip through the next batch, blocking until its
-    /// prediction is ready.
+    /// Runs one clip through the next batch at the server's default
+    /// precision, blocking until its prediction is ready.
     ///
     /// # Errors
     ///
@@ -82,6 +86,19 @@ impl EngineHandle {
     /// (the request is shed, never queued), [`ServeError::EngineGone`]
     /// after shutdown.
     pub fn infer(&self, clip: Tensor) -> Result<Tensor, ServeError> {
+        self.infer_prec(clip, self.default_prec)
+    }
+
+    /// [`EngineHandle::infer`] with an explicit compute precision —
+    /// the `?prec=` query parameter lands here. Jobs of different
+    /// precisions batch together; the engine partitions each batch by
+    /// precision and runs each partition under a scoped
+    /// `peb_simd::with_prec` override.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EngineHandle::infer`].
+    pub fn infer_prec(&self, clip: Tensor, prec: peb_simd::Prec) -> Result<Tensor, ServeError> {
         let s = clip.shape();
         let &[d, h, w] = s else {
             return Err(ServeError::BadClip {
@@ -96,7 +113,11 @@ impl EngineHandle {
             });
         }
         let (tx, rx) = mpsc::sync_channel(1);
-        match self.jobs.try_send(InferJob { clip, reply: tx }) {
+        match self.jobs.try_send(InferJob {
+            clip,
+            prec,
+            reply: tx,
+        }) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
                 self.stats.tick_shed();
@@ -143,7 +164,7 @@ pub struct Engine {
 impl Engine {
     /// Builds the model from `config` and starts the engine thread.
     pub fn spawn(config: &ServeConfig) -> (Engine, EngineHandle) {
-        let stats = Arc::new(ServeStats::new(config.seed));
+        let stats = Arc::new(ServeStats::new(config));
         let (jobs_tx, jobs_rx) = mpsc::sync_channel(config.queue_cap);
         let (ctrl_tx, ctrl_rx) = mpsc::channel();
         let handle = EngineHandle {
@@ -151,6 +172,7 @@ impl Engine {
             ctrl: ctrl_tx.clone(),
             stats: Arc::clone(&stats),
             grid: config.grid,
+            default_prec: config.default_prec,
         };
         let cfg = config.clone();
         let join = std::thread::Builder::new()
@@ -278,18 +300,35 @@ fn collect_batch(
 
 fn run_batch(config: &ServeConfig, stats: &Arc<ServeStats>, model: &SdmPeb, batch: Vec<InferJob>) {
     let _span = peb_obs::span("serve.batch");
-    let padded: Vec<Tensor> = batch
-        .iter()
-        .map(|j| pad_to_grid(&j.clip, config.grid))
-        .collect();
-    let outputs = model.predict_batch(&padded);
     stats.tick_batch(batch.len());
-    for (job, out) in batch.into_iter().zip(outputs) {
-        let s = job.clip.shape();
-        let cropped = crop_to(&out, (s[0], s[1], s[2]));
-        // A gone receiver just means the client hung up; inference
-        // results are not transactional.
-        let _ = job.reply.send(Ok(cropped));
+    // Jobs of different precisions share the queue and the batch
+    // window; the engine partitions here and runs each precision group
+    // as one predict_batch call under a scoped override. The fixed
+    // partition order (f32, bf16, int8) and predict_batch's
+    // batch-composition invariance keep every result bitwise
+    // independent of which other requests happened to share the batch.
+    for p in [
+        peb_simd::Prec::F32,
+        peb_simd::Prec::Bf16,
+        peb_simd::Prec::Int8,
+    ] {
+        let group: Vec<&InferJob> = batch.iter().filter(|j| j.prec == p).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let padded: Vec<Tensor> = group
+            .iter()
+            .map(|j| pad_to_grid(&j.clip, config.grid))
+            .collect();
+        let outputs = peb_simd::with_prec(p, || model.predict_batch(&padded));
+        for (job, out) in group.into_iter().zip(outputs) {
+            stats.tick_prec_infer(p);
+            let s = job.clip.shape();
+            let cropped = crop_to(&out, (s[0], s[1], s[2]));
+            // A gone receiver just means the client hung up; inference
+            // results are not transactional.
+            let _ = job.reply.send(Ok(cropped));
+        }
     }
 }
 
@@ -312,10 +351,13 @@ fn handle_swap(
     // corrupt file is rejected here and the live model is untouched.
     let meta = peb_guard::peek(path).map_err(|e| rejected(e.to_string()))?;
     let ckpt = peb_guard::TrainCheckpoint::load(path).map_err(|e| rejected(e.to_string()))?;
+    // A v2 (int8-quantized, params-empty) checkpoint dequantizes here;
+    // a v1 checkpoint passes its f32 params through untouched.
+    let params = sdm_peb::checkpoint_params(&ckpt).map_err(|e| rejected(e.to_string()))?;
     // Splice the weights into a *fresh* instance so a shape mismatch
     // can never leave the serving model half-written.
     let fresh = build_model(config);
-    sdm_peb::restore_parameters(&fresh, &ckpt.params).map_err(|e| rejected(e.to_string()))?;
+    sdm_peb::restore_parameters(&fresh, &params).map_err(|e| rejected(e.to_string()))?;
     *model = fresh; // old model drops here — after its last batch
     *version += 1;
     let v = ModelVersion {

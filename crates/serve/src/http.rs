@@ -150,6 +150,11 @@ impl Request {
             .split_once('?')
             .map_or(self.target.as_str(), |(p, _)| p)
     }
+
+    /// The target's query string (without the `?`), when present.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
 }
 
 /// Parsed head, cached between polls while the body streams in.

@@ -239,7 +239,10 @@ fn route(handle: &EngineHandle, req: &Request) -> Result<(&'static str, Vec<u8>)
         )),
         (Method::Post, "/infer") => {
             let t = clip::decode_clip(&req.body)?;
-            let y = handle.infer(t)?;
+            let y = match requested_prec(req)? {
+                Some(p) => handle.infer_prec(t, p)?,
+                None => handle.infer(t)?,
+            };
             Ok(("application/octet-stream", clip::encode_resp(&y)))
         }
         (Method::Post, "/swap") => {
@@ -261,6 +264,26 @@ fn route(handle: &EngineHandle, req: &Request) -> Result<(&'static str, Vec<u8>)
         }
         _ => Err(ServeError::NotFound),
     }
+}
+
+/// Resolves the `?prec=` selection on an `/infer` request. `None`
+/// means the request did not pick one (the engine default applies);
+/// an unparsable value is a 400, not a silent f32 fallback.
+fn requested_prec(req: &Request) -> Result<Option<peb_simd::Prec>, ServeError> {
+    let Some(q) = req.query() else {
+        return Ok(None);
+    };
+    for pair in q.split('&') {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        if k == "prec" {
+            return peb_simd::Prec::parse(v)
+                .map(Some)
+                .ok_or_else(|| ServeError::BadClip {
+                    detail: format!("unknown precision {v:?} (expected f32, bf16 or int8)"),
+                });
+        }
+    }
+    Ok(None)
 }
 
 fn write_http_error(stream: &mut TcpStream, e: &HttpError) {

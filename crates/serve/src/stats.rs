@@ -10,6 +10,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use peb_simd::Prec;
+
+use crate::config::ServeConfig;
+
 /// Histogram buckets: batch sizes `1..=MAX_HIST_BATCH`, larger batches
 /// collapse into the last bucket.
 pub const MAX_HIST_BATCH: usize = 32;
@@ -56,12 +60,25 @@ pub struct ServeStats {
     /// Batch-size histogram; index `i` counts batches of size `i + 1`
     /// (last bucket also absorbs anything larger).
     pub batch_hist: [AtomicU64; MAX_HIST_BATCH],
+    /// Inferences served per precision, indexed by `Prec as usize`
+    /// (f32, bf16, int8).
+    pub prec_infers: [AtomicU64; 3],
+    /// Batching knob: upper bound on clips folded into one batch.
+    pub max_batch: usize,
+    /// Batching knob: straggler wait in microseconds.
+    pub max_wait_us: u64,
+    /// Bounded inference queue depth (full → 429).
+    pub queue_cap: usize,
+    /// Precision applied when a request does not pick one (`?prec=`).
+    pub default_prec: Prec,
     version: Mutex<ModelVersion>,
 }
 
 impl ServeStats {
-    /// Fresh stats advertising the seed base model.
-    pub fn new(seed: u64) -> Self {
+    /// Fresh stats advertising the seed base model and the serving
+    /// knobs `/stats` reports (batching limits, queue depth, default
+    /// precision).
+    pub fn new(config: &ServeConfig) -> Self {
         ServeStats {
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -69,7 +86,12 @@ impl ServeStats {
             hotswaps: AtomicU64::new(0),
             swaps_rejected: AtomicU64::new(0),
             batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
-            version: Mutex::new(ModelVersion::base(seed)),
+            prec_infers: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_batch: config.max_batch,
+            max_wait_us: config.max_wait_us,
+            queue_cap: config.queue_cap,
+            default_prec: config.default_prec,
+            version: Mutex::new(ModelVersion::base(config.seed)),
         }
     }
 
@@ -85,6 +107,11 @@ impl ServeStats {
         peb_obs::count(peb_obs::Counter::ServeBatches, 1);
         let bucket = n.clamp(1, MAX_HIST_BATCH) - 1;
         self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one inference served at `p`.
+    pub fn tick_prec_infer(&self, p: Prec) {
+        self.prec_infers[p as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one shed request.
@@ -134,13 +161,28 @@ impl ServeStats {
             .iter()
             .map(|(size, count)| format!("\"{size}\":{count}"))
             .collect();
+        let prec: Vec<String> = [Prec::F32, Prec::Bf16, Prec::Int8]
+            .iter()
+            .map(|p| {
+                format!(
+                    "\"{}\":{}",
+                    p.name(),
+                    self.prec_infers[*p as usize].load(Ordering::Relaxed)
+                )
+            })
+            .collect();
         format!(
-            "{{\"requests\":{},\"batches\":{},\"shed\":{},\"hotswaps\":{},\"swaps_rejected\":{},\"batch_hist\":{{{}}},\"model\":{}}}",
+            "{{\"requests\":{},\"batches\":{},\"shed\":{},\"hotswaps\":{},\"swaps_rejected\":{},\"max_batch\":{},\"max_wait_us\":{},\"queue_cap\":{},\"precision\":{},\"prec_infers\":{{{}}},\"batch_hist\":{{{}}},\"model\":{}}}",
             self.requests.load(Ordering::Relaxed),
             self.batches.load(Ordering::Relaxed),
             self.shed.load(Ordering::Relaxed),
             self.hotswaps.load(Ordering::Relaxed),
             self.swaps_rejected.load(Ordering::Relaxed),
+            self.max_batch,
+            self.max_wait_us,
+            self.queue_cap,
+            json_string(self.default_prec.name()),
+            prec.join(","),
             hist.join(","),
             version_json(&v),
         )
@@ -181,9 +223,16 @@ pub fn json_string(s: &str) -> String {
 mod tests {
     use super::*;
 
+    fn stats_with_seed(seed: u64) -> ServeStats {
+        ServeStats::new(&ServeConfig {
+            seed,
+            ..ServeConfig::default()
+        })
+    }
+
     #[test]
     fn histogram_buckets_by_size() {
-        let s = ServeStats::new(7);
+        let s = stats_with_seed(7);
         s.tick_batch(1);
         s.tick_batch(1);
         s.tick_batch(4);
@@ -196,7 +245,7 @@ mod tests {
 
     #[test]
     fn version_updates_on_hotswap() {
-        let s = ServeStats::new(7);
+        let s = stats_with_seed(7);
         assert_eq!(s.version().version, 0);
         assert_eq!(s.version().source, "seed:7");
         s.tick_hotswap(ModelVersion {
@@ -211,13 +260,38 @@ mod tests {
 
     #[test]
     fn json_is_wellformed_enough() {
-        let s = ServeStats::new(1);
+        let s = stats_with_seed(1);
         s.tick_request();
         s.tick_batch(2);
+        s.tick_prec_infer(Prec::Int8);
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"requests\":1"));
         assert!(j.contains("\"batch_hist\":{\"2\":1}"));
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_reports_knobs_and_precision_counters() {
+        let s = ServeStats::new(&ServeConfig {
+            seed: 9,
+            max_batch: 5,
+            max_wait_us: 123,
+            queue_cap: 17,
+            default_prec: Prec::Bf16,
+            ..ServeConfig::default()
+        });
+        s.tick_prec_infer(Prec::Bf16);
+        s.tick_prec_infer(Prec::Bf16);
+        s.tick_prec_infer(Prec::F32);
+        let j = s.to_json();
+        assert!(j.contains("\"max_batch\":5"), "{j}");
+        assert!(j.contains("\"max_wait_us\":123"), "{j}");
+        assert!(j.contains("\"queue_cap\":17"), "{j}");
+        assert!(j.contains("\"precision\":\"bf16\""), "{j}");
+        assert!(
+            j.contains("\"prec_infers\":{\"f32\":1,\"bf16\":2,\"int8\":0}"),
+            "{j}"
+        );
     }
 }

@@ -68,6 +68,7 @@ fn write_swap_checkpoint(tag: &str) -> (PathBuf, u64) {
         params,
         opt_m: vec![None; n],
         opt_v: vec![None; n],
+        quant: None,
     };
     let path =
         std::env::temp_dir().join(format!("peb_serve_chaos_{tag}_{}.ckpt", std::process::id()));

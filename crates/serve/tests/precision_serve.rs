@@ -1,0 +1,201 @@
+//! Per-request precision over the wire: `?prec=` selection, the
+//! `/stats` knob + per-precision counters (DESIGN §13), accuracy of
+//! the reduced-precision paths against the f32 serving baseline, and
+//! hot-swapping an int8-quantized (v2) checkpoint.
+
+use peb_guard::{OptKind, TrainCheckpoint};
+use peb_nn::Parameterized;
+use peb_serve::{Client, ServeConfig, Server};
+use peb_simd::Prec;
+use peb_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdm_peb::{PebPredictor, QuantBudgets, SdmPeb, SdmPebConfig};
+
+const GRID: (usize, usize, usize) = (4, 16, 16);
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        grid: GRID,
+        max_batch: 4,
+        max_wait_us: 200,
+        queue_cap: 32,
+        conn_workers: 2,
+        ..ServeConfig::default()
+    }
+}
+
+fn test_clip() -> Tensor {
+    let (d, h, w) = GRID;
+    Tensor::from_vec(
+        (0..d * h * w)
+            .map(|i| (i as f32 * 0.013).sin() * 0.4 + 0.5)
+            .collect(),
+        &[d, h, w],
+    )
+    .expect("clip")
+}
+
+fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+#[test]
+fn explicit_f32_matches_default_bitwise_and_reduced_precisions_track_it() {
+    let server = Server::start(config()).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let clip = test_clip();
+
+    let base = client.infer(&clip).expect("default infer");
+    let f32_explicit = client.infer_prec(&clip, Prec::F32).expect("f32 infer");
+    assert_eq!(
+        base.bit_digest(),
+        f32_explicit.bit_digest(),
+        "?prec=f32 must be bitwise the default path"
+    );
+
+    // The reference volume spans roughly [0.1, 0.9]; bf16 keeps ~3
+    // significant digits and int8 is dynamically quantized per GEMM,
+    // so both must land close to the f32 prediction without matching
+    // it bitwise in general.
+    let bf16 = client.infer_prec(&clip, Prec::Bf16).expect("bf16 infer");
+    let int8 = client.infer_prec(&clip, Prec::Int8).expect("int8 infer");
+    assert_eq!(bf16.shape(), base.shape());
+    assert_eq!(int8.shape(), base.shape());
+    let scale = base
+        .data()
+        .iter()
+        .fold(0.0f32, |m, v| m.max(v.abs()))
+        .max(1e-6);
+    assert!(
+        max_abs_diff(&bf16, &base) < 0.05 * scale,
+        "bf16 drifted {} on scale {scale}",
+        max_abs_diff(&bf16, &base)
+    );
+    assert!(
+        max_abs_diff(&int8, &base) < 0.10 * scale,
+        "int8 drifted {} on scale {scale}",
+        max_abs_diff(&int8, &base)
+    );
+
+    // Repeating a reduced-precision request is deterministic.
+    let bf16_again = client.infer_prec(&clip, Prec::Bf16).expect("bf16 again");
+    assert_eq!(bf16.bit_digest(), bf16_again.bit_digest());
+
+    // /stats reports the batching knobs, the default precision, and
+    // the per-precision inference counters.
+    let stats = client.request("GET", "/stats", b"").expect("stats");
+    assert_eq!(stats.status, 200);
+    let j = String::from_utf8_lossy(&stats.body).to_string();
+    assert!(j.contains("\"max_batch\":4"), "{j}");
+    assert!(j.contains("\"max_wait_us\":200"), "{j}");
+    assert!(j.contains("\"queue_cap\":32"), "{j}");
+    assert!(j.contains("\"precision\":\"f32\""), "{j}");
+    assert!(
+        j.contains("\"prec_infers\":{\"f32\":2,\"bf16\":2,\"int8\":1}"),
+        "{j}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn unknown_precision_is_a_400_and_the_connection_survives() {
+    let server = Server::start(config()).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let clip = test_clip();
+
+    let r = client
+        .request(
+            "POST",
+            "/infer?prec=f16",
+            &peb_serve::clip::encode_clip(&clip),
+        )
+        .expect("request completes");
+    assert_eq!(r.status, 400, "invalid precision must be a 400");
+    let body = String::from_utf8_lossy(&r.body);
+    assert!(body.contains("unknown precision"), "{body}");
+    // The app-level 400 keeps the connection usable.
+    client.infer(&clip).expect("infer after 400");
+    server.shutdown();
+}
+
+#[test]
+fn default_precision_config_applies_to_plain_infer() {
+    let server = Server::start(ServeConfig {
+        default_prec: Prec::Bf16,
+        ..config()
+    })
+    .expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let clip = test_clip();
+
+    let default_run = client.infer(&clip).expect("default infer");
+    let bf16 = client.infer_prec(&clip, Prec::Bf16).expect("bf16 infer");
+    assert_eq!(
+        default_run.bit_digest(),
+        bf16.bit_digest(),
+        "with default_prec=bf16 the plain path must be the bf16 path"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn quantized_v2_checkpoint_swaps_in_and_serves() {
+    // Train-side artifact: a differently-seeded model, checkpointed,
+    // then post-training-quantized against a small held-out clip set.
+    let donor = SdmPeb::new(SdmPebConfig::tiny(GRID), &mut StdRng::seed_from_u64(999));
+    let params: Vec<Tensor> = donor.parameters().iter().map(|p| p.value_clone()).collect();
+    let n = params.len();
+    let ckpt = TrainCheckpoint {
+        epoch: 7,
+        seed: 999,
+        opt_kind: OptKind::Adam,
+        opt_t: 0,
+        lr_scale: 1.0,
+        rollbacks: 0,
+        epoch_stats: vec![],
+        params,
+        opt_m: vec![None; n],
+        opt_v: vec![None; n],
+        quant: None,
+    };
+    let clips = vec![test_clip()];
+    let budgets = QuantBudgets {
+        max_rmse: 0.2,
+        min_ssim: 0.5,
+    };
+    let (qckpt, report) =
+        sdm_peb::quantize_checkpoint(&donor, &ckpt, &clips, budgets).expect("quantize");
+    assert!(report.quant_bytes < report.f32_bytes, "{report:?}");
+    let path =
+        std::env::temp_dir().join(format!("peb_serve_prec_quant_{}.ckpt", std::process::id()));
+    qckpt.save(&path).expect("save quantized checkpoint");
+
+    // Serving side: the swap dequantizes transparently; the served
+    // prediction must match a local model restored from the same
+    // dequantized parameters bitwise.
+    let server = Server::start(config()).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let v = client.swap(path.to_str().expect("utf8")).expect("swap");
+    assert_eq!(v.version, 1);
+    assert_eq!(v.epoch, 7);
+    let served = client.infer(&test_clip()).expect("infer");
+    server.shutdown();
+
+    let local = SdmPeb::new(SdmPebConfig::tiny(GRID), &mut StdRng::seed_from_u64(1));
+    let loaded = TrainCheckpoint::load(&path).expect("reload");
+    let deq = sdm_peb::checkpoint_params(&loaded).expect("dequantize");
+    sdm_peb::restore_parameters(&local, &deq).expect("restore");
+    assert_eq!(
+        served.bit_digest(),
+        local.predict(&test_clip()).bit_digest(),
+        "served prediction must come from the dequantized weights"
+    );
+    let _ = std::fs::remove_file(&path);
+}

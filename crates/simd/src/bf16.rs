@@ -1,0 +1,299 @@
+//! bf16 storage: round-to-nearest-even `f32 → bf16` narrowing, exact
+//! `bf16 → f32` widening, and the 8-lane widen-load/narrow-store
+//! backends the reduced-precision kernels are generic over.
+//!
+//! bf16 is the upper 16 bits of an IEEE-754 `f32` (1 sign, 8 exponent,
+//! 7 mantissa bits), stored here as a plain `u16`. Widening is exact —
+//! shift the bits back up — so a bf16 operand participates in f32
+//! arithmetic with **zero** additional error beyond the one narrowing
+//! rounding. Narrowing uses round-to-nearest-even on the discarded 16
+//! mantissa bits, the convention used by every bf16 hardware
+//! implementation; NaNs are quieted (the payload may change, NaN-ness
+//! never does) and infinities/zeros pass through exactly.
+//!
+//! # Backend classes
+//!
+//! [`ScalarBf16x8`] and [`AvxBf16x8`] perform *identical* widening
+//! (both are the exact bit shift) and identical RNE narrowing, so —
+//! unlike the f32 kernels' scalar/FMA split — the conversion layer
+//! itself never contributes a cross-backend difference. Any bf16-mode
+//! divergence between dispatch levels comes from the f32 arithmetic on
+//! the widened values (FMA fusion, polynomial `exp`), bounded by the
+//! same ULP budgets as the f32 kernels.
+
+use crate::Simd8;
+
+/// Narrows an `f32` to bf16 with round-to-nearest-even.
+#[inline(always)]
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Quiet NaN with the sign preserved; never round a NaN into Inf.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    // RNE on the low 16 bits: add 0x7FFF plus the LSB of the kept part.
+    let lsb = (bits >> 16) & 1;
+    ((bits.wrapping_add(0x7FFF + lsb)) >> 16) as u16
+}
+
+/// Widens a bf16 to `f32` (exact).
+#[inline(always)]
+pub fn bf16_to_f32(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+/// Narrows a slice, appending to `dst` (cleared first).
+pub fn narrow_slice(src: &[f32], dst: &mut Vec<u16>) {
+    dst.clear();
+    dst.reserve(src.len());
+    dst.extend(src.iter().map(|&x| f32_to_bf16(x)));
+}
+
+/// Widens a slice, appending to `dst` (cleared first).
+pub fn widen_slice(src: &[u16], dst: &mut Vec<f32>) {
+    dst.clear();
+    dst.reserve(src.len());
+    dst.extend(src.iter().map(|&b| bf16_to_f32(b)));
+}
+
+/// Eight bf16 lanes bridging storage (`u16`) and arithmetic
+/// ([`Simd8`]): widen eight stored values into an f32 vector, narrow an
+/// f32 vector back. Implemented by [`ScalarBf16x8`] (portable) and —
+/// on x86_64 — [`AvxBf16x8`] (AVX2 `cvtepu16/slli` widen, vectorised
+/// RNE narrow). Kernels written against this trait keep all arithmetic
+/// in the associated [`Simd8`] type, so "bf16 mode" changes only what
+/// memory holds.
+pub trait Bf16x8: Copy {
+    /// The f32 vector type arithmetic runs in.
+    type F: Simd8;
+    /// Widens `src[0..8]` into f32 lanes (exact).
+    fn widen_load(src: &[u16]) -> Self::F;
+    /// Narrows lanes into `dst[0..8]` with round-to-nearest-even.
+    fn narrow_store(v: Self::F, dst: &mut [u16]);
+}
+
+/// Portable bf16 backend over [`crate::ScalarX8`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarBf16x8;
+
+impl Bf16x8 for ScalarBf16x8 {
+    type F = crate::ScalarX8;
+    #[inline(always)]
+    fn widen_load(src: &[u16]) -> Self::F {
+        Simd8::from_array(std::array::from_fn(|i| bf16_to_f32(src[i])))
+    }
+    #[inline(always)]
+    fn narrow_store(v: Self::F, dst: &mut [u16]) {
+        let a = v.to_array();
+        for (d, x) in dst[..8].iter_mut().zip(a) {
+            *d = f32_to_bf16(x);
+        }
+    }
+}
+
+/// AVX2 bf16 backend over [`crate::AvxX8`].
+///
+/// # Soundness
+///
+/// Same contract as [`crate::AvxX8`]: only reached through
+/// `#[target_feature(enable = "avx2,fma")]` wrappers after runtime
+/// detection.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+pub struct AvxBf16x8;
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::{AvxBf16x8, Bf16x8};
+    use crate::AvxX8;
+    use std::arch::x86_64::*;
+
+    impl Bf16x8 for AvxBf16x8 {
+        type F = AvxX8;
+
+        #[inline(always)]
+        fn widen_load(src: &[u16]) -> AvxX8 {
+            debug_assert!(src.len() >= 8);
+            unsafe {
+                let half = _mm_loadu_si128(src.as_ptr() as *const __m128i);
+                let wide = _mm256_cvtepu16_epi32(half);
+                AvxX8::from_raw(_mm256_castsi256_ps(_mm256_slli_epi32(wide, 16)))
+            }
+        }
+
+        #[inline(always)]
+        fn narrow_store(v: AvxX8, dst: &mut [u16]) {
+            debug_assert!(dst.len() >= 8);
+            unsafe {
+                let bits = _mm256_castps_si256(v.raw());
+                // RNE: bias = 0x7FFF + LSB of the kept half.
+                let lsb = _mm256_and_si256(_mm256_srli_epi32(bits, 16), _mm256_set1_epi32(1));
+                let biased =
+                    _mm256_add_epi32(bits, _mm256_add_epi32(lsb, _mm256_set1_epi32(0x7FFF)));
+                let rounded = _mm256_srli_epi32(biased, 16);
+                // NaN lanes bypass the biased add (it could carry into
+                // Inf): quiet the truncated NaN instead.
+                let nan = _mm256_castps_si256(_mm256_cmp_ps(v.raw(), v.raw(), _CMP_UNORD_Q));
+                let quiet = _mm256_or_si256(_mm256_srli_epi32(bits, 16), _mm256_set1_epi32(0x0040));
+                let out32 = _mm256_blendv_epi8(rounded, quiet, nan);
+                // Pack the 8 low u16s of the 32-bit lanes into 128 bits.
+                // packus saturates on values above u16::MAX, so mask to
+                // the low halves first (they are already ≤ 0xFFFF after
+                // the shift, but the NaN-quiet path keeps this explicit).
+                let masked = _mm256_and_si256(out32, _mm256_set1_epi32(0xFFFF));
+                let packed = _mm256_packus_epi32(masked, masked);
+                let packed = _mm256_permute4x64_epi64(packed, 0b00_00_10_00);
+                _mm_storeu_si128(
+                    dst.as_mut_ptr() as *mut __m128i,
+                    _mm256_castsi256_si128(packed),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widen_is_exact_and_narrow_roundtrips_bf16_values() {
+        for bits in [0u16, 0x3F80, 0xBF80, 0x7F80, 0xFF80, 0x0001, 0x4049] {
+            let f = bf16_to_f32(bits);
+            assert_eq!(f32_to_bf16(f), bits, "roundtrip of {bits:#06x}");
+        }
+        assert_eq!(bf16_to_f32(0x3F80), 1.0);
+        assert_eq!(bf16_to_f32(0xC000), -2.0);
+        assert_eq!(bf16_to_f32(0x7F80), f32::INFINITY);
+    }
+
+    #[test]
+    fn narrow_is_round_to_nearest_even() {
+        // 1.0 + half an ulp of bf16: ties to even (stay at 1.0).
+        let tie = f32::from_bits(0x3F80_8000);
+        assert_eq!(f32_to_bf16(tie), 0x3F80);
+        // Just above the tie rounds up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(f32_to_bf16(above), 0x3F81);
+        // Odd-kept tie rounds up to even.
+        let odd_tie = f32::from_bits(0x3F81_8000);
+        assert_eq!(f32_to_bf16(odd_tie), 0x3F82);
+        // Just below the tie rounds down.
+        let below = f32::from_bits(0x3F80_7FFF);
+        assert_eq!(f32_to_bf16(below), 0x3F80);
+    }
+
+    #[test]
+    fn narrow_relative_error_is_bounded() {
+        // One rounding: |x̂ − x| ≤ 2⁻⁸·|x| for normal values.
+        for i in 0..10_000u32 {
+            let x = (i as f32 * 0.37 + 0.001) * if i % 2 == 0 { 1.0 } else { -1.0 };
+            let back = bf16_to_f32(f32_to_bf16(x));
+            assert!((back - x).abs() <= x.abs() * (1.0 / 256.0), "{x} → {back}");
+        }
+    }
+
+    #[test]
+    fn nan_and_inf_handling() {
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(
+            bf16_to_f32(f32_to_bf16(f32::NEG_INFINITY)),
+            f32::NEG_INFINITY
+        );
+        // Values that would overflow bf16's (same) exponent range stay
+        // finite-or-inf exactly as f32 would round them: f32::MAX rounds
+        // up to bf16 infinity under RNE.
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::MAX)), f32::INFINITY);
+    }
+
+    #[test]
+    fn scalar_lane_backend_matches_scalar_functions() {
+        let xs: [f32; 8] = [
+            1.0,
+            -2.5,
+            std::f32::consts::PI,
+            1e-8,
+            -1e8,
+            0.0,
+            -0.0,
+            255.4,
+        ];
+        let mut stored = [0u16; 8];
+        let v = <ScalarBf16x8 as Bf16x8>::F::from_array(xs);
+        ScalarBf16x8::narrow_store(v, &mut stored);
+        for (x, s) in xs.iter().zip(stored) {
+            assert_eq!(s, f32_to_bf16(*x));
+        }
+        let widened = ScalarBf16x8::widen_load(&stored).to_array();
+        for (w, s) in widened.iter().zip(stored) {
+            assert_eq!(w.to_bits(), bf16_to_f32(s).to_bits());
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx_backend_matches_scalar_backend_bitwise() {
+        if !crate::detected() {
+            return;
+        }
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn roundtrip(xs: &[f32; 8]) -> ([u16; 8], [f32; 8]) {
+            let v = <AvxBf16x8 as Bf16x8>::F::from_array(*xs);
+            let mut stored = [0u16; 8];
+            AvxBf16x8::narrow_store(v, &mut stored);
+            let widened = AvxBf16x8::widen_load(&stored).to_array();
+            (stored, widened)
+        }
+        let cases: [[f32; 8]; 3] = [
+            [
+                1.0,
+                -2.5,
+                std::f32::consts::PI,
+                1e-8,
+                -1e8,
+                0.0,
+                -0.0,
+                255.4,
+            ],
+            [
+                f32::NAN,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                f32::MAX,
+                f32::MIN_POSITIVE,
+                -65504.0,
+                0.1,
+                -0.1,
+            ],
+            [
+                f32::from_bits(0x3F80_8000),
+                f32::from_bits(0x3F80_8001),
+                f32::from_bits(0x3F81_8000),
+                f32::from_bits(0x3F80_7FFF),
+                2.0,
+                -3.0,
+                1e-40,
+                -1e-40,
+            ],
+        ];
+        for xs in &cases {
+            // SAFETY: guarded by detected().
+            let (stored, widened) = unsafe { roundtrip(xs) };
+            for (i, x) in xs.iter().enumerate() {
+                let want = f32_to_bf16(*x);
+                if x.is_nan() {
+                    assert!(bf16_to_f32(stored[i]).is_nan(), "lane {i}");
+                    assert!(widened[i].is_nan(), "lane {i}");
+                } else {
+                    assert_eq!(stored[i], want, "lane {i} of {x}");
+                    assert_eq!(
+                        widened[i].to_bits(),
+                        bf16_to_f32(want).to_bits(),
+                        "lane {i}"
+                    );
+                }
+            }
+        }
+    }
+}

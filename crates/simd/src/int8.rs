@@ -1,0 +1,441 @@
+//! int8 post-training-quantized GEMM for the inference path.
+//!
+//! `out += a[m×k] · b[k×n]` where `b` (weights) is quantized **once**
+//! per-column (output channel) by absmax and `a` (activations) is
+//! quantized dynamically per-row at call time. Products accumulate in
+//! exact `i32` arithmetic and are dequantized by `s_a[row] · s_w[col]`
+//! at the end, so — unlike the f32/bf16 tolerance classes — the scalar
+//! and AVX2 kernels here are **bitwise identical**: integer addition is
+//! associative and the final float multiply happens in one fixed order.
+//!
+//! # Quantization convention
+//!
+//! `scale = absmax / 127`, `q = round(x / scale)` clamped to `±127`
+//! (−128 is never produced, keeping the range symmetric so `q·scale`
+//! is odd-symmetric in `x`). All-zero rows/columns get `scale = 0` and
+//! all-zero codes, dequantizing exactly to zero.
+//!
+//! # Packing layout
+//!
+//! `b` is packed into `NR`-wide (8-column, zero-padded) panels with the
+//! `k` dimension in **pairs**: 16 consecutive bytes hold
+//! `[b(k,j0), b(k+1,j0), b(k,j1), b(k+1,j1), … b(k+1,j7)]`. A
+//! `_mm256_cvtepi8_epi16` of those 16 bytes followed by
+//! `_mm256_madd_epi16` against a broadcast `(a_k, a_{k+1})` pair yields
+//! eight i32 lanes each holding two MACs. The scalar kernel consumes
+//! the same layout so there is exactly one storage format. `i16×i16`
+//! products are ≤ `127² = 16129`; a pair sums to ≤ `32258`, so i32
+//! accumulation is exact for any `k` below ~66 000 — far above every
+//! shape in this workspace (debug-asserted at pack time).
+
+use crate::gemm::NR;
+use crate::simd_active;
+
+/// Largest `k` for which the paired i32 accumulation provably cannot
+/// wrap: `k/2` pair-terms of magnitude ≤ 2·127² must stay below 2³¹.
+pub const MAX_K_EXACT: usize = (i32::MAX as usize) / (2 * 127 * 127) * 2;
+
+/// Per-column (output-channel) absmax-quantized weight matrix, packed
+/// for the paired-`k` kernel.
+#[derive(Debug, Clone)]
+pub struct QuantB {
+    /// Rows of the original `b` (the GEMM reduction depth).
+    pub k: usize,
+    /// Columns of the original `b` (output channels).
+    pub n: usize,
+    /// One dequantization scale per column: `scales[j] = absmax_j / 127`.
+    pub scales: Vec<f32>,
+    /// Packed codes: `n.div_ceil(NR)` panels × `k.div_ceil(2)` pairs ×
+    /// 16 bytes, zero-padded on both edges.
+    data: Vec<i8>,
+}
+
+impl QuantB {
+    /// Bytes held by the packed codes + scales (footprint reporting).
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Raw packed codes (serialization).
+    pub fn codes(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Rebuilds from previously serialized parts.
+    ///
+    /// `codes` must be exactly the packed layout produced by
+    /// [`quantize_b`] for the same `(k, n)`.
+    pub fn from_parts(k: usize, n: usize, scales: Vec<f32>, codes: Vec<i8>) -> Option<QuantB> {
+        if scales.len() != n || codes.len() != packed_len(k, n) {
+            return None;
+        }
+        Some(QuantB {
+            k,
+            n,
+            scales,
+            data: codes,
+        })
+    }
+}
+
+fn packed_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * k.div_ceil(2) * 2 * NR
+}
+
+/// Quantizes one value against a scale (symmetric, ties away handled by
+/// `round`, clamped to ±127).
+#[inline(always)]
+fn quantize_one(x: f32, inv_scale: f32) -> i8 {
+    // `round` then clamp: absmax maps to ±127 exactly, nothing escapes.
+    (x * inv_scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Per-column absmax quantization of `b[k×n]` into the packed layout.
+pub fn quantize_b(b: &[f32], k: usize, n: usize) -> QuantB {
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert!(k <= MAX_K_EXACT, "k={k} overflows exact i32 accumulation");
+    let mut scales = vec![0f32; n];
+    for j in 0..n {
+        let mut absmax = 0f32;
+        for i in 0..k {
+            absmax = absmax.max(b[i * n + j].abs());
+        }
+        scales[j] = absmax / 127.0;
+    }
+    let inv: Vec<f32> = scales
+        .iter()
+        .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+        .collect();
+    let pairs = k.div_ceil(2);
+    let mut data = vec![0i8; packed_len(k, n)];
+    for (pj, panel) in data.chunks_exact_mut(pairs * 2 * NR).enumerate() {
+        let j0 = pj * NR;
+        for (pk, pair) in panel.chunks_exact_mut(2 * NR).enumerate() {
+            let kk = pk * 2;
+            for jj in 0..NR {
+                let j = j0 + jj;
+                if j >= n {
+                    break; // zero padding already in place
+                }
+                pair[jj * 2] = quantize_one(b[kk * n + j], inv[j]);
+                if kk + 1 < k {
+                    pair[jj * 2 + 1] = quantize_one(b[(kk + 1) * n + j], inv[j]);
+                }
+            }
+        }
+    }
+    QuantB { k, n, scales, data }
+}
+
+/// Dynamic per-row absmax quantization of activations `a[m×k]`.
+///
+/// Returns the codes (row-major, same shape) and one scale per row.
+pub fn quantize_rows(a: &[f32], m: usize, k: usize) -> (Vec<i8>, Vec<f32>) {
+    debug_assert_eq!(a.len(), m * k);
+    let mut codes = vec![0i8; m * k];
+    let mut scales = vec![0f32; m];
+    for (i, row) in a.chunks_exact(k).enumerate() {
+        let absmax = row.iter().fold(0f32, |acc, &x| acc.max(x.abs()));
+        let s = absmax / 127.0;
+        scales[i] = s;
+        if s > 0.0 {
+            let inv = 1.0 / s;
+            for (c, &x) in codes[i * k..(i + 1) * k].iter_mut().zip(row) {
+                *c = quantize_one(x, inv);
+            }
+        }
+    }
+    (codes, scales)
+}
+
+/// Dispatched int8 GEMM against a pre-quantized `b`: quantizes the
+/// activation rows dynamically, accumulates in i32, dequantizes into
+/// `out` (`out += …`, caller pre-zeroes or pre-accumulates).
+pub fn gemm_i8(a: &[f32], qb: &QuantB, out: &mut [f32], m: usize) {
+    debug_assert_eq!(a.len(), m * qb.k);
+    debug_assert_eq!(out.len(), m * qb.n);
+    crate::note_prec_dispatch();
+    let (codes, row_scales) = quantize_rows(a, m, qb.k);
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        crate::note_dispatch();
+        // SAFETY: `simd_active()` implies AVX2+FMA were detected.
+        unsafe { kernel_avx2(&codes, &row_scales, qb, out, m) };
+        return;
+    }
+    kernel_scalar(&codes, &row_scales, qb, out, m);
+}
+
+/// Forced scalar int8 GEMM (differential tests, `PEB_SIMD=off` A/B).
+pub fn gemm_i8_scalar(a: &[f32], qb: &QuantB, out: &mut [f32], m: usize) {
+    let (codes, row_scales) = quantize_rows(a, m, qb.k);
+    kernel_scalar(&codes, &row_scales, qb, out, m);
+}
+
+/// Forced SIMD int8 GEMM; returns `false` (leaving `out` untouched)
+/// when the CPU lacks AVX2+FMA.
+pub fn gemm_i8_simd(a: &[f32], qb: &QuantB, out: &mut [f32], m: usize) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if crate::detected() {
+        let (codes, row_scales) = quantize_rows(a, m, qb.k);
+        // SAFETY: guarded by `detected()`.
+        unsafe { kernel_avx2(&codes, &row_scales, qb, out, m) };
+        return true;
+    }
+    let _ = (a, qb, out, m);
+    false
+}
+
+/// Convenience: quantize `b` on the spot and multiply (tests, one-shot
+/// callers). Hot paths should hold a [`QuantB`] and call [`gemm_i8`].
+pub fn gemm_dyn_i8(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let qb = quantize_b(b, k, n);
+    gemm_i8(a, &qb, out, m);
+}
+
+/// Scalar kernel over the packed layout: exact i32 accumulation, one
+/// dequantizing multiply per output element.
+fn kernel_scalar(codes: &[i8], row_scales: &[f32], qb: &QuantB, out: &mut [f32], m: usize) {
+    let (k, n) = (qb.k, qb.n);
+    let pairs = k.div_ceil(2);
+    for i in 0..m {
+        let arow = &codes[i * k..(i + 1) * k];
+        let sa = row_scales[i];
+        for (pj, panel) in qb.data.chunks_exact(pairs * 2 * NR).enumerate() {
+            let j0 = pj * NR;
+            let width = NR.min(n - j0);
+            let mut acc = [0i32; NR];
+            for (pk, pair) in panel.chunks_exact(2 * NR).enumerate() {
+                let kk = pk * 2;
+                let a0 = arow[kk] as i32;
+                let a1 = if kk + 1 < k { arow[kk + 1] as i32 } else { 0 };
+                for (jj, accv) in acc.iter_mut().enumerate() {
+                    *accv += a0 * pair[jj * 2] as i32 + a1 * pair[jj * 2 + 1] as i32;
+                }
+            }
+            for jj in 0..width {
+                out[i * n + j0 + jj] += acc[jj] as f32 * (sa * qb.scales[j0 + jj]);
+            }
+        }
+    }
+}
+
+/// AVX2 kernel: `cvtepi8_epi16` widens one 16-byte pair group to eight
+/// `(b_k, b_{k+1})` i16 pairs; `madd_epi16` against the broadcast
+/// activation pair performs two MACs per i32 lane. Accumulation and
+/// dequantization order match [`kernel_scalar`] exactly, so outputs are
+/// bitwise identical.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kernel_avx2(codes: &[i8], row_scales: &[f32], qb: &QuantB, out: &mut [f32], m: usize) {
+    use std::arch::x86_64::*;
+    let (k, n) = (qb.k, qb.n);
+    let pairs = k.div_ceil(2);
+    for i in 0..m {
+        let arow = &codes[i * k..(i + 1) * k];
+        let sa = row_scales[i];
+        for (pj, panel) in qb.data.chunks_exact(pairs * 2 * NR).enumerate() {
+            let j0 = pj * NR;
+            let width = NR.min(n - j0);
+            let mut acc = _mm256_setzero_si256();
+            for (pk, pair) in panel.chunks_exact(2 * NR).enumerate() {
+                let kk = pk * 2;
+                let a0 = arow[kk] as i16 as u16 as u32;
+                let a1 = if kk + 1 < k {
+                    arow[kk + 1] as i16 as u16 as u32
+                } else {
+                    0
+                };
+                let avec = _mm256_set1_epi32((a0 | (a1 << 16)) as i32);
+                let bvec = _mm256_cvtepi8_epi16(_mm_loadu_si128(pair.as_ptr() as *const __m128i));
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(bvec, avec));
+            }
+            let mut lanes = [0i32; NR];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+            for (jj, &accv) in lanes.iter().enumerate().take(width) {
+                out[i * n + j0 + jj] += accv as f32 * (sa * qb.scales[j0 + jj]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(len: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s >> 40) as f32 / (1 << 24) as f32) * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    fn reference_i8(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        // Independent model of the quantized product: plain (unpacked)
+        // codes, i64 accumulation, same dequant order.
+        let qb = quantize_b(b, k, n);
+        let (codes, sa) = quantize_rows(a, m, k);
+        let mut qb_plain = vec![0i32; k * n];
+        for j in 0..n {
+            let inv = if qb.scales[j] > 0.0 {
+                1.0 / qb.scales[j]
+            } else {
+                0.0
+            };
+            for i in 0..k {
+                qb_plain[i * n + j] = quantize_one(b[i * n + j], inv) as i32;
+            }
+        }
+        let mut out = vec![0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc: i64 = 0;
+                for kk in 0..k {
+                    acc += codes[i * k + kk] as i64 * qb_plain[kk * n + j] as i64;
+                }
+                out[i * n + j] = acc as f32 * (sa[i] * qb.scales[j]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn quantize_codes_stay_within_half_step() {
+        let b = pseudo(37 * 11, 3);
+        let qb = quantize_b(&b, 37, 11);
+        let (codes, sa) = quantize_rows(&b, 37, 11);
+        for (i, row) in b.chunks_exact(11).enumerate() {
+            for (&x, &c) in row.iter().zip(&codes[i * 11..(i + 1) * 11]) {
+                if sa[i] > 0.0 {
+                    assert!((c as f32 * sa[i] - x).abs() <= sa[i] * 0.5 + 1e-7);
+                }
+            }
+        }
+        assert_eq!(qb.scales.len(), 11);
+        assert!(qb.scales.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn zero_rows_and_columns_dequantize_to_zero() {
+        let (m, k, n) = (3, 5, 4);
+        let mut a = pseudo(m * k, 5);
+        for v in &mut a[k..2 * k] {
+            *v = 0.0; // middle activation row all-zero
+        }
+        let mut b = pseudo(k * n, 6);
+        for row in b.chunks_exact_mut(n) {
+            row[2] = 0.0; // column 2 all-zero
+        }
+        let mut out = vec![0f32; m * n];
+        gemm_dyn_i8(&a, &b, &mut out, m, k, n);
+        for j in 0..n {
+            assert_eq!(out[n + j], 0.0, "zero row, col {j}");
+        }
+        for i in 0..m {
+            assert_eq!(out[i * n + 2], 0.0, "row {i}, zero col");
+        }
+    }
+
+    #[test]
+    fn scalar_matches_independent_reference_bitwise() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (9, 33, 17), (8, 256, 8), (7, 513, 9)] {
+            let a = pseudo(m * k, 7);
+            let b = pseudo(k * n, 8);
+            let want = reference_i8(&a, &b, m, k, n);
+            let qb = quantize_b(&b, k, n);
+            let mut got = vec![0f32; m * n];
+            gemm_i8_scalar(&a, &qb, &mut got, m);
+            for (w, g) in want.iter().zip(&got) {
+                assert_eq!(w.to_bits(), g.to_bits(), "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_matches_scalar_bitwise() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (9, 33, 17), (8, 256, 8), (7, 513, 9)] {
+            let a = pseudo(m * k, 9);
+            let b = pseudo(k * n, 10);
+            let qb = quantize_b(&b, k, n);
+            let mut simd = vec![0f32; m * n];
+            if !gemm_i8_simd(&a, &qb, &mut simd, m) {
+                return;
+            }
+            let mut scalar = vec![0f32; m * n];
+            gemm_i8_scalar(&a, &qb, &mut scalar, m);
+            for (s, g) in scalar.iter().zip(&simd) {
+                assert_eq!(s.to_bits(), g.to_bits(), "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_tracks_f32_within_relative_budget() {
+        // Two symmetric quantizations: per-element error against the
+        // exact product is bounded by
+        // `s_a/2·Σ|b| + s_w/2·Σ|a| + k·s_a·s_w/4`; with absmax scales
+        // this lands near 1% of the |a||b| mass for smooth inputs. Gate
+        // at 2.5% of the mass plus a small absolute floor.
+        for &(m, k, n) in &[(4, 64, 8), (9, 300, 17), (16, 128, 32)] {
+            let a = pseudo(m * k, 11);
+            let b = pseudo(k * n, 12);
+            let mut exact = vec![0f32; m * n];
+            crate::gemm::gemm_scalar(&a, &b, &mut exact, m, k, n);
+            let mut mass = vec![0f32; m * n];
+            for i in 0..m {
+                for kk in 0..k {
+                    for j in 0..n {
+                        mass[i * n + j] += (a[i * k + kk] * b[kk * n + j]).abs();
+                    }
+                }
+            }
+            let mut q = vec![0f32; m * n];
+            gemm_dyn_i8(&a, &b, &mut q, m, k, n);
+            for ((w, g), mm) in exact.iter().zip(&q).zip(&mass) {
+                assert!(
+                    (w - g).abs() <= mm * 0.025 + 1e-4,
+                    "({m},{k},{n}): {w} vs {g} (mass {mm})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_out() {
+        let (m, k, n) = (2, 8, 3);
+        let a = pseudo(m * k, 13);
+        let b = pseudo(k * n, 14);
+        let mut once = vec![0f32; m * n];
+        gemm_dyn_i8(&a, &b, &mut once, m, k, n);
+        let mut twice = once.clone();
+        gemm_dyn_i8(&a, &b, &mut twice, m, k, n);
+        for (o, t) in once.iter().zip(&twice) {
+            assert!((t - 2.0 * o).abs() <= 1e-5);
+        }
+    }
+
+    #[test]
+    fn quantb_roundtrips_through_parts() {
+        let (k, n) = (33, 12);
+        let b = pseudo(k * n, 15);
+        let qb = quantize_b(&b, k, n);
+        let rebuilt =
+            QuantB::from_parts(k, n, qb.scales.clone(), qb.codes().to_vec()).expect("parts");
+        let a = pseudo(5 * k, 16);
+        let mut w = vec![0f32; 5 * n];
+        gemm_i8_scalar(&a, &qb, &mut w, 5);
+        let mut g = vec![0f32; 5 * n];
+        gemm_i8_scalar(&a, &rebuilt, &mut g, 5);
+        assert_eq!(w, g);
+        assert!(QuantB::from_parts(k, n, vec![0.0; n - 1], qb.codes().to_vec()).is_none());
+        // k+1 shares the same pair count (33 and 34 both pack to 17
+        // pairs), so step two to actually change the packed length.
+        assert!(QuantB::from_parts(k + 2, n, qb.scales.clone(), qb.codes().to_vec()).is_none());
+        assert!(qb.storage_bytes() >= qb.codes().len());
+    }
+}

@@ -36,9 +36,11 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
+pub mod bf16;
 pub mod elementwise;
 pub mod fused;
 pub mod gemm;
+pub mod int8;
 pub mod optim;
 pub mod scan;
 pub mod stencil;
@@ -141,6 +143,139 @@ pub fn set_level(l: Level) {
 #[inline]
 pub(crate) fn note_dispatch() {
     peb_obs::count(peb_obs::Counter::SimdDispatch, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Compute precision
+// ---------------------------------------------------------------------------
+
+/// Storage precision the reduced-precision kernels run at.
+///
+/// Precision governs how *operands are stored and streamed* — every
+/// kernel accumulates in `f32` regardless (`i32` for the int8 GEMM,
+/// dequantised to `f32` on the way out). [`Prec::F32`] is the default
+/// and leaves every kernel on its pre-existing code path, so the
+/// `PEB_PREC` latch is a strict no-op unless explicitly engaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Prec {
+    /// Full f32 storage — the default; bitwise identical to the
+    /// pre-latch behaviour.
+    F32 = 0,
+    /// bf16 storage (round-to-nearest-even), f32 accumulation.
+    Bf16 = 1,
+    /// Dynamic int8 storage at the GEMM seam (per-row activations,
+    /// per-column weights), i32 accumulation. Inference only: selected
+    /// per request by `peb-serve`, never via `PEB_PREC`.
+    Int8 = 2,
+}
+
+impl Prec {
+    /// Stable name used in benchmark JSON, `/stats` and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Prec::F32 => "f32",
+            Prec::Bf16 => "bf16",
+            Prec::Int8 => "int8",
+        }
+    }
+
+    /// Parses a precision name (`f32`/`bf16`/`int8`), case-sensitive.
+    pub fn parse(s: &str) -> Option<Prec> {
+        match s {
+            "f32" => Some(Prec::F32),
+            "bf16" => Some(Prec::Bf16),
+            "int8" => Some(Prec::Int8),
+            _ => None,
+        }
+    }
+}
+
+const PREC_UNINIT: u8 = u8::MAX;
+static PREC: AtomicU8 = AtomicU8::new(PREC_UNINIT);
+
+std::thread_local! {
+    /// Per-thread precision override (see [`with_prec`]). `PREC_UNINIT`
+    /// means "no override — fall through to the global latch".
+    static PREC_TLS: std::cell::Cell<u8> = const { std::cell::Cell::new(PREC_UNINIT) };
+}
+
+#[cold]
+fn init_prec() -> Prec {
+    // The env latch accepts f32|bf16 only: int8 is an inference-time,
+    // per-request precision (dynamic quantisation has no training
+    // story), reachable through `set_prec`/`with_prec` instead.
+    let p = match std::env::var("PEB_PREC").as_deref() {
+        Ok("bf16") => Prec::Bf16,
+        _ => Prec::F32,
+    };
+    PREC.store(p as u8, Ordering::Relaxed);
+    p
+}
+
+fn decode_prec(v: u8) -> Option<Prec> {
+    match v {
+        0 => Some(Prec::F32),
+        1 => Some(Prec::Bf16),
+        2 => Some(Prec::Int8),
+        _ => None,
+    }
+}
+
+/// Current compute precision: the calling thread's [`with_prec`]
+/// override if one is active, otherwise the process-global latch
+/// (`PEB_PREC`, read once).
+///
+/// Kernels and drivers read this **on the caller's thread before
+/// fanning work out** to the `peb-par` pool and capture the value into
+/// their closures, so a scoped override on the submitting thread
+/// governs the whole parallel region.
+#[inline]
+pub fn prec() -> Prec {
+    let tls = PREC_TLS.with(std::cell::Cell::get);
+    if let Some(p) = decode_prec(tls) {
+        return p;
+    }
+    match decode_prec(PREC.load(Ordering::Relaxed)) {
+        Some(p) => p,
+        None => init_prec(),
+    }
+}
+
+/// Overrides the process-global precision latch, bypassing `PEB_PREC`.
+/// Used by benchmark binaries for A/B runs; callers that toggle this in
+/// tests must serialise themselves (the latch is process-global) —
+/// prefer [`with_prec`], which is thread-scoped.
+pub fn set_prec(p: Prec) {
+    PREC.store(p as u8, Ordering::Relaxed);
+}
+
+/// Runs `f` with the calling thread's precision pinned to `p`,
+/// restoring the previous override on exit (also on panic-free early
+/// return; the guard restores on unwind too).
+///
+/// The override is visible to any kernel *dispatched from this thread*,
+/// including work it fans out to the `peb-par` pool — drivers capture
+/// `prec()` before going parallel. Other threads are unaffected, so
+/// concurrent engines (or tests) can run different precisions safely.
+pub fn with_prec<R>(p: Prec, f: impl FnOnce() -> R) -> R {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PREC_TLS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = PREC_TLS.with(std::cell::Cell::get);
+    let _guard = Restore(prev);
+    PREC_TLS.with(|c| c.set(p as u8));
+    f()
+}
+
+/// Ticks the `prec_dispatch` counter; called by every kernel entry that
+/// takes a reduced-precision (bf16/int8) path.
+#[inline]
+pub(crate) fn note_prec_dispatch() {
+    peb_obs::count(peb_obs::Counter::PrecDispatch, 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -299,6 +434,23 @@ impl Simd8 for ScalarX8 {
 pub struct AvxX8(std::arch::x86_64::__m256);
 
 #[cfg(target_arch = "x86_64")]
+impl AvxX8 {
+    /// The raw vector register, for sibling modules (bf16/int8) that
+    /// need intrinsics outside the [`Simd8`] surface.
+    #[inline(always)]
+    pub(crate) fn raw(self) -> std::arch::x86_64::__m256 {
+        self.0
+    }
+
+    /// Wraps a raw vector register (same soundness contract as the
+    /// type: only under `avx2,fma` target features).
+    #[inline(always)]
+    pub(crate) fn from_raw(v: std::arch::x86_64::__m256) -> Self {
+        AvxX8(v)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
 mod avx {
     use super::{AvxX8, Simd8};
     use std::arch::x86_64::*;
@@ -447,6 +599,38 @@ mod tests {
         }
         let sel = a.select_nonneg(ScalarX8::splat(1.0), ScalarX8::splat(-1.0));
         assert_eq!(sel.to_array(), [1.0, -1.0, 1.0, 1.0, -1.0, 1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn prec_parse_and_names_roundtrip() {
+        for p in [Prec::F32, Prec::Bf16, Prec::Int8] {
+            assert_eq!(Prec::parse(p.name()), Some(p));
+        }
+        assert_eq!(Prec::parse("f16"), None);
+        assert_eq!(Prec::parse(""), None);
+    }
+
+    #[test]
+    fn with_prec_overrides_then_restores() {
+        // The thread-local override wins inside the closure, nests, and
+        // restores on exit (including the no-override outer state).
+        let outer = prec();
+        with_prec(Prec::Bf16, || {
+            assert_eq!(prec(), Prec::Bf16);
+            with_prec(Prec::Int8, || assert_eq!(prec(), Prec::Int8));
+            assert_eq!(prec(), Prec::Bf16);
+        });
+        assert_eq!(prec(), outer);
+    }
+
+    #[test]
+    fn with_prec_is_thread_local() {
+        with_prec(Prec::Bf16, || {
+            // A fresh thread sees the global latch, not this override.
+            let seen = std::thread::spawn(prec).join().expect("join");
+            assert_ne!(seen, Prec::Int8);
+            assert_eq!(prec(), Prec::Bf16);
+        });
     }
 
     #[cfg(target_arch = "x86_64")]

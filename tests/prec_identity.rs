@@ -1,0 +1,105 @@
+//! `PEB_PREC=f32` is a strict no-op: with the default precision the
+//! full pipeline — rigorous litho solve plus SDM-PEB forward — must be
+//! bitwise identical to a run with the f32 latch set explicitly, at
+//! 1 and 4 threads, at every dispatch level this machine has.
+//!
+//! This pins the tentpole's "default off" contract: threading the
+//! precision latch through tensor/nn/mamba/litho must not perturb a
+//! single bit of the pre-existing f32 path.
+
+use peb_litho::{Grid, LithoFlow, MaskConfig, PebSolver};
+use peb_simd::{Level, Prec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdm_peb::{PebPredictor, SdmPeb, SdmPebConfig};
+
+fn micro_grid() -> Grid {
+    Grid::new(16, 16, 4, 8.0, 8.0, 20.0).expect("micro grid")
+}
+
+/// One full pipeline pass: mask → optics → Dill → rigorous PEB bake →
+/// model forward. Returns the bit digests of the solver state and the
+/// prediction.
+fn pipeline_digests() -> (u64, u64) {
+    let grid = micro_grid();
+    let clip = MaskConfig::demo(grid.nx).generate(11).expect("clip");
+    let mut flow = LithoFlow::new(grid);
+    flow.peb.duration = 4.0;
+    let aerial = flow.optics.aerial_image(&grid, &clip).expect("aerial");
+    let acid0 = flow.dill.photoacid(&aerial);
+    let solver = PebSolver::new(flow.peb, grid, flow.scheme).expect("solver");
+    let state = solver.run(&acid0).expect("bake");
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = SdmPeb::new(SdmPebConfig::tiny((grid.nz, grid.ny, grid.nx)), &mut rng);
+    let pred = model.predict(&acid0);
+    (state.inhibitor.bit_digest(), pred.bit_digest())
+}
+
+/// The dispatch levels available on this machine: scalar always, plus
+/// the detected best level when it differs.
+fn levels() -> Vec<Level> {
+    let mut ls = vec![Level::Scalar];
+    if peb_simd::best_level() != Level::Scalar {
+        ls.push(peb_simd::best_level());
+    }
+    ls
+}
+
+#[test]
+fn explicit_f32_latch_is_bitwise_identical_across_threads_and_levels() {
+    // The dispatch level is process-global, so the whole sweep lives in
+    // one test function (mirrors the bench_simd identity sweep).
+    for level in levels() {
+        peb_simd::set_level(level);
+        for threads in [1usize, 4] {
+            let (baseline_state, baseline_pred) =
+                peb_par::with_thread_count(threads, pipeline_digests);
+            let (latched_state, latched_pred) = peb_par::with_thread_count(threads, || {
+                peb_simd::with_prec(Prec::F32, pipeline_digests)
+            });
+            assert_eq!(
+                baseline_state,
+                latched_state,
+                "solver state diverged under an explicit f32 latch \
+                 (level {}, {threads} threads)",
+                level.name()
+            );
+            assert_eq!(
+                baseline_pred,
+                latched_pred,
+                "prediction diverged under an explicit f32 latch \
+                 (level {}, {threads} threads)",
+                level.name()
+            );
+        }
+    }
+    peb_simd::set_level(peb_simd::best_level());
+}
+
+#[test]
+fn f32_pipeline_is_thread_count_invariant_with_the_latch_set() {
+    // 1-vs-4-thread bitwise identity was already pinned for the default
+    // path; this keeps it true inside a `with_prec(F32)` scope.
+    peb_simd::set_level(peb_simd::best_level());
+    let one = peb_par::with_thread_count(1, || peb_simd::with_prec(Prec::F32, pipeline_digests));
+    let four = peb_par::with_thread_count(4, || peb_simd::with_prec(Prec::F32, pipeline_digests));
+    assert_eq!(
+        one, four,
+        "f32-latched pipeline must not depend on PEB_THREADS"
+    );
+}
+
+#[test]
+fn reduced_precision_scopes_restore_the_f32_baseline() {
+    // Running bf16/int8 scopes in between must not leak into later f32
+    // work — the drop-guard restore is part of the no-op contract.
+    peb_simd::set_level(peb_simd::best_level());
+    let before = pipeline_digests();
+    let _ = peb_simd::with_prec(Prec::Bf16, pipeline_digests);
+    let _ = peb_simd::with_prec(Prec::Int8, pipeline_digests);
+    let after = pipeline_digests();
+    assert_eq!(
+        before, after,
+        "a completed reduced-precision scope must leave the f32 path untouched"
+    );
+}
