@@ -17,9 +17,12 @@
 //! so shed (429) counts appear in the JSON when the box saturates.
 //!
 //! Each stage runs an untimed warmup window at its own concurrency
-//! first — connection setup, parser cold paths, and pool growth land
-//! there instead of in the measured p50/p99 (the latency-side analogue
-//! of bench_e2e's repeat-min discipline).
+//! first — parser cold paths and pool growth land there instead of in
+//! the measured p50/p99 (the latency-side analogue of bench_e2e's
+//! repeat-min discipline). Connections are keep-alive and shared
+//! across stages through one client pool, so TCP + handshake setup is
+//! paid once per connection, not once per measurement window; the
+//! artifact records this under `client_connections`.
 
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -99,13 +102,17 @@ fn write_swap_checkpoint() -> PathBuf {
     path
 }
 
-/// One closed-loop stage at `conns` concurrent connections. The first
-/// `warmup` of wall time runs the identical loop with its latencies
-/// discarded (cold connections, parser and pool warm-up), then the
-/// measured `window` starts. Returns the stage summary; panics on a
-/// digest violation.
+/// One closed-loop stage at `conns` concurrent connections, each
+/// driving one of the pre-established keep-alive connections handed in
+/// via `clients` (returned to the caller afterwards, so later stages
+/// reuse them instead of paying TCP/parser setup per measurement
+/// window). The first `warmup` of wall time runs the identical loop
+/// with its latencies discarded (pool warm-up, and cold connections on
+/// the very first stage), then the measured `window` starts. Returns
+/// the stage summary; panics on a digest violation.
 fn run_stage(
     addr: SocketAddr,
+    clients: &mut Vec<Client>,
     conns: usize,
     warmup: Duration,
     window: Duration,
@@ -114,14 +121,17 @@ fn run_stage(
     let stop = Arc::new(AtomicBool::new(false));
     let measure = Arc::new(AtomicBool::new(false));
     let clip = test_clip();
-    let workers: Vec<_> = (0..conns)
-        .map(|_| {
+    while clients.len() < conns {
+        clients.push(Client::connect(addr).expect("connect"));
+    }
+    let workers: Vec<_> = clients
+        .drain(..conns)
+        .map(|mut client| {
             let stop = Arc::clone(&stop);
             let measure = Arc::clone(&measure);
             let clip = clip.clone();
             let ok = ok_digests.to_vec();
             std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("connect");
                 let mut lat_us: Vec<f64> = Vec::new();
                 let (mut shed, mut errors) = (0u64, 0u64);
                 while !stop.load(Ordering::Relaxed) {
@@ -155,7 +165,7 @@ fn run_stage(
                         }
                     }
                 }
-                (lat_us, shed, errors)
+                (client, lat_us, shed, errors)
             })
         })
         .collect();
@@ -167,7 +177,8 @@ fn run_stage(
     let mut all_lat: Vec<f64> = Vec::new();
     let (mut shed, mut errors) = (0u64, 0u64);
     for w in workers {
-        let (lat, s, e) = w.join().expect("client thread");
+        let (client, lat, s, e) = w.join().expect("client thread");
+        clients.push(client);
         all_lat.extend(lat);
         shed += s;
         errors += e;
@@ -235,6 +246,12 @@ fn main() {
     let mut stages: Vec<StageResult> = Vec::new();
     let last = conns_list.len().saturating_sub(1);
     let ckpt_path = write_swap_checkpoint();
+    // Keep-alive connection pool shared across stages: each stage
+    // borrows the connections it needs and returns them, so only the
+    // first use of a connection pays TCP + parser setup. (Earlier
+    // revisions reconnected every stage, which billed connection
+    // setup to the warmup of every measurement window.)
+    let mut clients: Vec<Client> = Vec::new();
     for (i, &conns) in conns_list.iter().enumerate() {
         // Fire a hot-swap mid-window at the highest concurrency stage.
         let swapper = (i == last).then(|| {
@@ -248,7 +265,7 @@ fn main() {
                     .expect("hot-swap under load")
             })
         });
-        let r = run_stage(addr, conns, warmup, window, &ok_digests);
+        let r = run_stage(addr, &mut clients, conns, warmup, window, &ok_digests);
         if let Some(s) = swapper {
             let v = s.join().expect("swapper thread");
             println!(
@@ -269,6 +286,7 @@ fn main() {
     let hist = stats.batch_hist_entries();
     let hotswaps = stats.hotswaps.load(Ordering::Relaxed);
     let total_shed: u64 = stages.iter().map(|s| s.shed).sum();
+    drop(clients);
     server.shutdown();
 
     assert!(hotswaps >= 1, "the under-load hot-swap must have landed");
@@ -317,7 +335,7 @@ fn main() {
         .map(|(size, count)| format!("\"{size}\":{count}"))
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"grid\": \"{}x{}x{}\",\n  \"max_batch\": {},\n  \"max_wait_us\": {},\n  \"queue_cap\": {},\n  \"hardware_cores\": {},\n  \"window_s\": {},\n  \"warmup_s\": {},\n  \"conns_scaling_enforced\": {},\n  \"gate_skip_reason\": {},\n  \"stages\": [{}],\n  \"saturation_qps\": {:.2},\n  \"batch_hist\": {{{}}},\n  \"hotswaps\": {},\n  \"shed_total\": {},\n  \"digest_ok\": true\n}}\n",
+        "{{\n  \"bench\": \"serve\",\n  \"grid\": \"{}x{}x{}\",\n  \"max_batch\": {},\n  \"max_wait_us\": {},\n  \"queue_cap\": {},\n  \"hardware_cores\": {},\n  \"window_s\": {},\n  \"warmup_s\": {},\n  \"client_connections\": \"keepalive-across-stages\",\n  \"conns_scaling_enforced\": {},\n  \"gate_skip_reason\": {},\n  \"stages\": [{}],\n  \"saturation_qps\": {:.2},\n  \"batch_hist\": {{{}}},\n  \"hotswaps\": {},\n  \"shed_total\": {},\n  \"digest_ok\": true\n}}\n",
         GRID.0,
         GRID.1,
         GRID.2,

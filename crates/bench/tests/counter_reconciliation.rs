@@ -7,11 +7,21 @@
 //! `tensor_allocs` must equal the pool misses over the window — pooled
 //! checkouts that hit never tick an alloc, and nothing double-counts.
 //!
+//! The same discipline covers execution plans: a replayed inference
+//! must be invisible to the allocator — zero `pool_misses` and zero
+//! `tensor_allocs` over the replay window (the arena serves every
+//! planned intermediate; the escaping output hits the warm pool), one
+//! `plan_replays` tick, and no `arena_bytes` growth (regions are sized
+//! once at plan build).
+//!
 //! This file holds a single `#[test]` so it gets its own process:
 //! counter deltas would be racy if unrelated tests ran concurrently in
 //! the same binary.
 
 use peb_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdm_peb::{InferPlan, PebPredictor, SdmPeb, SdmPebConfig};
 
 struct Deltas {
     hits: u64,
@@ -93,5 +103,51 @@ fn fused_chain_counters_reconcile_with_pool_accounting() {
     assert_eq!(
         unfused.misses, 0,
         "warm unfused checkouts should hit the pool"
+    );
+
+    plan_replay_counters_reconcile();
+}
+
+/// A replayed inference is allocation-free: the arena serves every
+/// planned checkout, so the only pool traffic in the window is the
+/// escaping output buffer hitting the warm pool.
+fn plan_replay_counters_reconcile() {
+    peb_plan::set_enabled(true);
+    let mut rng = StdRng::seed_from_u64(17);
+    let model = SdmPeb::new(SdmPebConfig::tiny((2, 16, 16)), &mut rng);
+    let clip = Tensor::rand_uniform(&[2, 16, 16], 0.05, 0.9, &mut rng);
+    let eager = model.predict(&clip).bit_digest();
+    let (plan, _) = InferPlan::record(&model, &clip);
+
+    // One throwaway replay warms the pool buckets the escapes land in.
+    drop(plan.predict(&model, &clip));
+
+    let snap = |name: &str| peb_obs::snapshot().counter(name);
+    let (m0, a0, r0, b0) = (
+        snap("pool_misses"),
+        snap("tensor_allocs"),
+        snap("plan_replays"),
+        snap("arena_bytes"),
+    );
+    let (out, outcome) = plan.predict(&model, &clip);
+    let (m1, a1, r1, b1) = (
+        snap("pool_misses"),
+        snap("tensor_allocs"),
+        snap("plan_replays"),
+        snap("arena_bytes"),
+    );
+    assert!(outcome.complete, "replay must complete: {outcome:?}");
+    assert_eq!(out.bit_digest(), eager, "replay must stay bitwise eager");
+    assert_eq!(m1 - m0, 0, "replay must make zero pool misses");
+    assert_eq!(a1 - a0, 0, "replay must make zero fresh heap allocations");
+    assert_eq!(
+        r1 - r0,
+        1,
+        "one completed replay must tick plan_replays once"
+    );
+    assert_eq!(b1 - b0, 0, "a steady-state replay must not grow the arena");
+    assert!(
+        outcome.served > 0,
+        "the arena, not the pool, serves planned intermediates"
     );
 }

@@ -261,12 +261,32 @@ impl SdmPeb {
     ///
     /// Panics if `acid` does not match the configured input dimensions.
     pub fn forward(&self, acid: &Tensor) -> Var {
-        let _span = peb_obs::span("model.forward");
         let (d, h, w) = self.config.input_dims;
         assert_eq!(acid.shape(), [d, h, w], "input dims mismatch");
         let input = Var::constant(acid.reshape(&[1, d, h, w]).expect("input reshape"));
-        let x = self.stem.forward(&input);
-        let skip = Var::concat(&[&x, &input], 0);
+        self.forward_inner(&input)
+    }
+
+    /// Differentiable forward pass from a graph node, for callers that
+    /// need gradients **with respect to the input** (ILT mask
+    /// optimisation): pass the photoacid as a `Var::parameter` and its
+    /// `grad()` is populated by `backward()`. [`SdmPeb::forward`]
+    /// wraps the input in a constant, which cannot receive gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acid` does not match the configured input dimensions.
+    pub fn forward_var(&self, acid: &Var) -> Var {
+        let (d, h, w) = self.config.input_dims;
+        assert_eq!(acid.shape(), [d, h, w], "input dims mismatch");
+        let input = acid.reshape(&[1, d, h, w]);
+        self.forward_inner(&input)
+    }
+
+    fn forward_inner(&self, input: &Var) -> Var {
+        let _span = peb_obs::span("model.forward");
+        let x = self.stem.forward(input);
+        let skip = Var::concat(&[&x, input], 0);
         let mut features = Vec::with_capacity(self.stages.len());
         let mut cur = x;
         for stage in &self.stages {

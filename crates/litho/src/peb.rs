@@ -409,6 +409,9 @@ fn implicit_axis_on(
     }
     let _span = peb_obs::span("litho.adi_axis");
     peb_obs::count(peb_obs::Counter::AdiLines, (outer * inner) as u64);
+    peb_obs::optrace::note("adi.sweep", || {
+        format!("axis={axis} n={n} lines={} r={r}", outer * inner)
+    });
     // Coefficient arrays are identical for every line of this axis;
     // checked out of the thread-local pool (the solver rebuilds them for
     // every axis of every step).
@@ -498,6 +501,9 @@ fn implicit_axis_on(
 fn explicit_step(field: &mut Tensor, grid: &Grid, d_lat: f32, d_norm: f32, top_bc: EndBc, dt: f32) {
     let _span = peb_obs::span("litho.explicit_step");
     let (nz, ny, nx) = (grid.nz, grid.ny, grid.nx);
+    peb_obs::optrace::note("stencil", || {
+        format!("grid={nz}x{ny}x{nx} dt={dt} prec={:?}", peb_simd::prec())
+    });
     let p = peb_simd::stencil::StencilParams {
         rx: d_lat * dt / (grid.dx * grid.dx),
         ry: d_lat * dt / (grid.dy * grid.dy),

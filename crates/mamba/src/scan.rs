@@ -39,6 +39,7 @@ pub fn selective_scan(u: &Var, delta: &Var, a: &Var, b: &Var, c: &Var, d: &Var) 
     assert_eq!(b.shape(), vec![l, n], "b must be [L, N]");
     assert_eq!(c.shape(), vec![l, n], "c must be [L, N]");
     assert_eq!(d.shape(), vec![ch], "d must be [C]");
+    peb_obs::optrace::note("scan", || format!("l={l} c={ch} n={n}"));
 
     let (y, h_traj) = scan_forward(
         &u.value(),

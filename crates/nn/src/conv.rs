@@ -33,6 +33,9 @@ fn im2col2(input: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> T
     let src = input.data();
     let cols = ho * wo;
     let per_c = kh * kw * cols;
+    peb_obs::optrace::note("conv.im2col", || {
+        format!("cin={cin} hw={h}x{w} k={kh}x{kw} stride={stride} pad={pad} cols={cols}")
+    });
     // Pooled patch matrix: `zeros` checks the (large) buffer out of the
     // thread-local pool instead of allocating it on every forward and
     // backward pass.
@@ -156,6 +159,9 @@ fn im2col3_range(
     let src = input.data();
     let cols = (oz1 - oz0) * hh * ww;
     let per_c = kd * kh * kw * cols;
+    peb_obs::optrace::note("conv.im2col3", || {
+        format!("cin={cin} dhw={d}x{h}x{w} k={kd}x{kh}x{kw} oz={oz0}..{oz1} cols={cols}")
+    });
     // Pooled patch matrix, as in `im2col2`.
     let mut out = Tensor::zeros(&[cin * kd * kh * kw, cols]);
     peb_par::parallel_chunks_mut_cost(out.data_mut(), per_c, 4, |offset, chunk| {

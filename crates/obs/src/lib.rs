@@ -27,6 +27,8 @@
 //! ones) so every other crate in the workspace can instrument itself
 //! without cycles; see DESIGN.md §6 for the contract.
 
+pub mod optrace;
+
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -210,9 +212,19 @@ pub enum Counter {
     /// (bf16 storage or int8 quantized); stays 0 under `PEB_PREC=f32`
     /// when no request/test opts into a lower precision.
     PrecDispatch = 22,
+    /// Inference requests served from a cached execution plan by the
+    /// `peb-serve` plan cache (misses record a fresh plan and are not
+    /// counted here).
+    PlanHits = 23,
+    /// Computations executed through `Plan::replay` that completed
+    /// without diverging from the recorded checkout stream.
+    PlanReplays = 24,
+    /// Bytes materialised into record-and-replay arenas (aggregated
+    /// across plans; the per-plan high-water mark lives in the plan).
+    ArenaBytes = 25,
 }
 
-const N_COUNTERS: usize = 23;
+const N_COUNTERS: usize = 26;
 
 const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "gemm_flops",
@@ -238,6 +250,9 @@ const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "serve_shed",
     "serve_hotswaps",
     "prec_dispatch",
+    "plan_hits",
+    "plan_replays",
+    "arena_bytes",
 ];
 
 #[allow(clippy::declare_interior_mutable_const)]

@@ -1,0 +1,118 @@
+//! Property test for the liveness-analysis safety invariant: the
+//! planner must never assign two simultaneously-live checkouts to the
+//! same arena region, must size every region to its largest occupant,
+//! and must never place a never-freed (escaping) checkout in a region.
+
+use std::any::TypeId;
+use std::collections::HashMap;
+
+use peb_plan::{AllocEvent, Event, MemPlan, Placement, Trace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random well-formed event stream: every `Free` names a live alloc,
+/// no alloc is freed twice, some allocs are deliberately left live.
+fn random_trace(seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_events = rng.gen_range(1..120usize);
+    let mut events = Vec::new();
+    let mut live: Vec<u32> = Vec::new();
+    let mut next = 0u32;
+    for _ in 0..n_events {
+        let do_free = !live.is_empty() && rng.gen_range(0..100u32) < 45;
+        if do_free {
+            let i = rng.gen_range(0..live.len());
+            events.push(Event::Free {
+                alloc: live.swap_remove(i),
+            });
+        } else {
+            let (elem_bytes, ty) = if rng.gen_range(0..3u32) == 0 {
+                (2usize, TypeId::of::<u16>())
+            } else {
+                (4usize, TypeId::of::<f32>())
+            };
+            events.push(Event::Alloc(AllocEvent {
+                elems: rng.gen_range(1..50_000usize),
+                elem_bytes,
+                ty,
+            }));
+            live.push(next);
+            next += 1;
+        }
+    }
+    Trace { events }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn no_two_live_checkouts_share_a_region(seed in 0u64..1_000_000) {
+        let trace = random_trace(seed);
+        let plan = MemPlan::from_trace(&trace);
+
+        prop_assert_eq!(plan.allocs.len(), trace.alloc_count());
+
+        // Which allocs are freed inside the window?
+        let mut freed = vec![false; plan.allocs.len()];
+        for e in &trace.events {
+            if let Event::Free { alloc } = e {
+                freed[*alloc as usize] = true;
+            }
+        }
+
+        // Simulate: region -> currently-live alloc id.
+        let mut occupied: HashMap<u32, u32> = HashMap::new();
+        let mut cursor = 0u32;
+        for e in &trace.events {
+            match e {
+                Event::Alloc(ev) => {
+                    let id = cursor;
+                    cursor += 1;
+                    let (rec_ev, placement) = plan.allocs[id as usize];
+                    prop_assert_eq!(rec_ev, *ev, "plan preserves event order");
+                    match placement {
+                        Placement::Escape => {
+                            prop_assert!(
+                                !freed[id as usize],
+                                "only never-freed checkouts may escape"
+                            );
+                        }
+                        Placement::Region(r) => {
+                            prop_assert!(
+                                freed[id as usize],
+                                "escaping checkouts must not be region-placed"
+                            );
+                            let spec = plan.regions[r as usize];
+                            prop_assert!(
+                                spec.cap_elems >= ev.elems,
+                                "region must fit its occupant"
+                            );
+                            prop_assert_eq!(spec.ty, ev.ty, "regions never mix element types");
+                            if let Some(&other) = occupied.get(&r) {
+                                prop_assert!(
+                                    false,
+                                    "allocs {} and {} live in region {} simultaneously",
+                                    other,
+                                    id,
+                                    r
+                                );
+                            }
+                            occupied.insert(r, id);
+                        }
+                    }
+                }
+                Event::Free { alloc } => {
+                    if let (_, Placement::Region(r)) = plan.allocs[*alloc as usize] {
+                        prop_assert_eq!(occupied.remove(&r), Some(*alloc));
+                    }
+                }
+            }
+        }
+
+        // Aliasing must never lose bytes: the arena is at most the
+        // no-reuse footprint, and exactly covers each region's max.
+        prop_assert!(plan.arena_bytes() <= plan.logical_bytes().max(plan.arena_bytes()));
+    }
+}

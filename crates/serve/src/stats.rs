@@ -57,6 +57,15 @@ pub struct ServeStats {
     pub hotswaps: AtomicU64,
     /// Hot-swaps rejected (corrupt/mismatched checkpoint).
     pub swaps_rejected: AtomicU64,
+    /// Inferences served by replaying a cached execution plan.
+    pub plan_hits: AtomicU64,
+    /// Inferences that recorded a fresh execution plan (cache miss).
+    pub plan_misses: AtomicU64,
+    /// Plan-cache entries invalidated by `/swap` (plans are dropped
+    /// atomically with the model splice, between batches).
+    pub plan_invalidations: AtomicU64,
+    /// High-water mark of arena bytes held by cached plans.
+    pub arena_hwm_bytes: AtomicU64,
     /// Batch-size histogram; index `i` counts batches of size `i + 1`
     /// (last bucket also absorbs anything larger).
     pub batch_hist: [AtomicU64; MAX_HIST_BATCH],
@@ -85,6 +94,10 @@ impl ServeStats {
             shed: AtomicU64::new(0),
             hotswaps: AtomicU64::new(0),
             swaps_rejected: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            plan_invalidations: AtomicU64::new(0),
+            arena_hwm_bytes: AtomicU64::new(0),
             batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
             prec_infers: std::array::from_fn(|_| AtomicU64::new(0)),
             max_batch: config.max_batch,
@@ -132,6 +145,27 @@ impl ServeStats {
         self.swaps_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one inference replayed through a cached plan.
+    pub fn tick_plan_hit(&self) {
+        self.plan_hits.fetch_add(1, Ordering::Relaxed);
+        peb_obs::count(peb_obs::Counter::PlanHits, 1);
+    }
+
+    /// Records one inference that recorded a fresh plan.
+    pub fn tick_plan_miss(&self) {
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` plan-cache entries dropped by a hot-swap.
+    pub fn tick_plan_invalidations(&self, n: u64) {
+        self.plan_invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the arena high-water mark to at least `bytes`.
+    pub fn note_arena_bytes(&self, bytes: u64) {
+        self.arena_hwm_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+
     /// The currently-served model version.
     pub fn version(&self) -> ModelVersion {
         self.version_guard().clone()
@@ -172,12 +206,16 @@ impl ServeStats {
             })
             .collect();
         format!(
-            "{{\"requests\":{},\"batches\":{},\"shed\":{},\"hotswaps\":{},\"swaps_rejected\":{},\"max_batch\":{},\"max_wait_us\":{},\"queue_cap\":{},\"precision\":{},\"prec_infers\":{{{}}},\"batch_hist\":{{{}}},\"model\":{}}}",
+            "{{\"requests\":{},\"batches\":{},\"shed\":{},\"hotswaps\":{},\"swaps_rejected\":{},\"plan_hits\":{},\"plan_misses\":{},\"plan_invalidations\":{},\"arena_hwm_bytes\":{},\"max_batch\":{},\"max_wait_us\":{},\"queue_cap\":{},\"precision\":{},\"prec_infers\":{{{}}},\"batch_hist\":{{{}}},\"model\":{}}}",
             self.requests.load(Ordering::Relaxed),
             self.batches.load(Ordering::Relaxed),
             self.shed.load(Ordering::Relaxed),
             self.hotswaps.load(Ordering::Relaxed),
             self.swaps_rejected.load(Ordering::Relaxed),
+            self.plan_hits.load(Ordering::Relaxed),
+            self.plan_misses.load(Ordering::Relaxed),
+            self.plan_invalidations.load(Ordering::Relaxed),
+            self.arena_hwm_bytes.load(Ordering::Relaxed),
             self.max_batch,
             self.max_wait_us,
             self.queue_cap,

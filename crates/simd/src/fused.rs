@@ -56,6 +56,25 @@ pub enum Stage<'a> {
 }
 
 impl Stage<'_> {
+    /// Stable stage descriptor, used by the op-trace capture in
+    /// `peb-plan` recordings to describe a fused chain.
+    pub fn name(&self) -> &'static str {
+        match *self {
+            Stage::AddT(_) => "add_t",
+            Stage::SubT(_) => "sub_t",
+            Stage::RsubT(_) => "rsub_t",
+            Stage::MulT(_) => "mul_t",
+            Stage::DivT(_) => "div_t",
+            Stage::AddScalar(_) => "add_scalar",
+            Stage::MulScalar(_) => "mul_scalar",
+            Stage::SubFromScalar(_) => "sub_from_scalar",
+            Stage::Sqrt => "sqrt",
+            Stage::Exp => "exp",
+            Stage::Sigmoid => "sigmoid",
+            Stage::Neg => "neg",
+        }
+    }
+
     /// The borrowed operand, if this is a binary stage.
     fn operand(&self) -> Option<&[f32]> {
         match *self {

@@ -156,7 +156,7 @@ pub(crate) fn note_dispatch() {
 /// dequantised to `f32` on the way out). [`Prec::F32`] is the default
 /// and leaves every kernel on its pre-existing code path, so the
 /// `PEB_PREC` latch is a strict no-op unless explicitly engaged.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Prec {
     /// Full f32 storage — the default; bitwise identical to the

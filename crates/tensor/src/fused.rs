@@ -191,6 +191,15 @@ impl<'a> FusedChain<'a> {
         if self.stages.is_empty() {
             return self.src.clone();
         }
+        peb_obs::optrace::note("fused", || {
+            let names: Vec<&str> = self.stages.iter().map(|s| s.name()).collect();
+            format!(
+                "chain=[{}] len={} fused={}",
+                names.join(","),
+                self.src.len(),
+                fusion_enabled()
+            )
+        });
         if fusion_enabled() {
             let n = self.src.len();
             let mut data = crate::tensor::alloc_cleared(n);

@@ -26,6 +26,7 @@ impl Tensor {
         let (m, k, n) = (ls[0], ls[1], rs[1]);
         let _span = peb_obs::span("gemm.matmul");
         peb_obs::count(peb_obs::Counter::GemmFlops, 2 * (m * k * n) as u64);
+        peb_obs::optrace::note("gemm", || format!("m={m} k={k} n={n}"));
         // Pooled output panel: `zeros` checks out (pre-zeroed) from the
         // thread-local pool, which the accumulating kernel requires.
         let mut out = Tensor::zeros(&[m, n]);
@@ -51,6 +52,7 @@ impl Tensor {
         let (b, m, k, n) = (ls[0], ls[1], ls[2], rs[2]);
         let _span = peb_obs::span("gemm.bmm");
         peb_obs::count(peb_obs::Counter::GemmFlops, 2 * (b * m * k * n) as u64);
+        peb_obs::optrace::note("gemm.bmm", || format!("b={b} m={m} k={k} n={n}"));
         let mut out = Tensor::zeros(&[b, m, n]);
         // Batches are independent; when there is only one, run_parallel
         // falls through without entering a parallel region, so the inner
