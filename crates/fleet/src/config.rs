@@ -1,0 +1,208 @@
+//! Fleet configuration (`PEB_FLEET_*` environment variables).
+//!
+//! The fleet layers *on top of* the per-worker `PEB_SERVE_*` variables:
+//! every worker process inherits the parent's `PEB_SERVE_*` environment
+//! (model preset, grid, seed, precision, batching knobs) with only its
+//! bind address overridden, so one set of serving knobs configures the
+//! whole fleet.
+
+use std::time::Duration;
+
+/// Everything the router + supervisor need, with env-var overrides.
+///
+/// | env | field | default |
+/// |-----|-------|---------|
+/// | `PEB_FLEET_ADDR` | `addr` | `127.0.0.1:7979` |
+/// | `PEB_FLEET_WORKERS` | `workers` | `2` |
+/// | `PEB_FLEET_DEADLINE_US` | `deadline_us` | `2_000_000` (2 s) |
+/// | `PEB_FLEET_RETRIES` | `max_attempts` | `2·workers` |
+/// | `PEB_FLEET_PROBE_MS` | `probe_interval` | `250` |
+/// | `PEB_FLEET_PROBE_TIMEOUT_MS` | `probe_timeout` | `500` |
+/// | `PEB_FLEET_PROBE_FAILS` | `probe_fails` | `2` |
+/// | `PEB_FLEET_BACKOFF_US` | `backoff_base` | `2_000` |
+/// | `PEB_FLEET_BACKOFF_CAP_US` | `backoff_cap` | `100_000` |
+/// | `PEB_FLEET_ATTEMPT_MS` | `attempt_timeout` | unset (deadline only) |
+/// | `PEB_FLEET_DRAIN_MS` | `drain_timeout` | `3_000` |
+/// | `PEB_FLEET_CONNS` | `conn_workers` | `2` |
+/// | `PEB_FLEET_WORKER_BIN` | `worker_bin` | sibling `peb_worker` |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Router bind address (`host:port`; port 0 lets the OS pick).
+    pub addr: String,
+    /// Number of worker processes (= shards on the hash ring).
+    pub workers: usize,
+    /// Default per-request deadline in microseconds, applied when the
+    /// client sends no `X-Peb-Deadline-Us` header. `0` disables the
+    /// default (requests without the header then have no deadline).
+    pub deadline_us: u64,
+    /// Upper bound on routing attempts per request (first try included).
+    /// `0` → `2·workers` after normalisation.
+    pub max_attempts: usize,
+    /// How often the supervisor probes each worker's `/healthz`.
+    pub probe_interval: Duration,
+    /// Per-probe connect/read budget; a hung worker fails by timeout.
+    pub probe_timeout: Duration,
+    /// Consecutive probe failures before a worker is declared down and
+    /// restarted (absorbs one slow probe on a loaded box).
+    pub probe_fails: u32,
+    /// First retry backoff in microseconds (doubles per attempt).
+    pub backoff_base_us: u64,
+    /// Backoff ceiling in microseconds.
+    pub backoff_cap_us: u64,
+    /// Optional per-attempt socket budget cap. Without it a hung worker
+    /// consumes the entire remaining deadline on one attempt, leaving
+    /// nothing for failover; with it the router gives up on the wedged
+    /// shard after this long and retries elsewhere while budget remains.
+    pub attempt_timeout: Option<Duration>,
+    /// How long a graceful drain waits for a worker to exit after its
+    /// stdin closes, before escalating to a hard kill.
+    pub drain_timeout: Duration,
+    /// Router connection-handling threads.
+    pub conn_workers: usize,
+    /// Path to the `peb_worker` binary. `None` → a `peb_worker` sibling
+    /// of the current executable (how the bench and CI find it).
+    pub worker_bin: Option<std::path::PathBuf>,
+    /// Per-shard `PEB_CHAOS` specs injected into the *first* spawn of
+    /// that shard only (restarts come up clean) — the chaos schedule
+    /// hook for `bench_fleet` and the failover tests.
+    pub worker_chaos: Vec<(usize, String)>,
+    /// Extra environment for every worker spawn (tests and the bench
+    /// pin `PEB_SERVE_*` knobs here instead of mutating the parent's
+    /// process-global environment, which is racy under parallel tests).
+    pub worker_env: Vec<(String, String)>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            addr: "127.0.0.1:7979".to_string(),
+            workers: 2,
+            deadline_us: 2_000_000,
+            max_attempts: 0,
+            probe_interval: Duration::from_millis(250),
+            probe_timeout: Duration::from_millis(500),
+            probe_fails: 2,
+            backoff_base_us: 2_000,
+            backoff_cap_us: 100_000,
+            attempt_timeout: None,
+            drain_timeout: Duration::from_millis(3_000),
+            conn_workers: 2,
+            worker_bin: None,
+            worker_chaos: Vec::new(),
+            worker_env: Vec::new(),
+        }
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+impl FleetConfig {
+    /// Defaults overridden by any set `PEB_FLEET_*` variables.
+    pub fn from_env() -> Self {
+        let mut c = FleetConfig::default();
+        if let Ok(v) = std::env::var("PEB_FLEET_ADDR") {
+            c.addr = v;
+        }
+        if let Some(v) = env_parse("PEB_FLEET_WORKERS") {
+            c.workers = v;
+        }
+        if let Some(v) = env_parse("PEB_FLEET_DEADLINE_US") {
+            c.deadline_us = v;
+        }
+        if let Some(v) = env_parse("PEB_FLEET_RETRIES") {
+            c.max_attempts = v;
+        }
+        if let Some(v) = env_parse::<u64>("PEB_FLEET_PROBE_MS") {
+            c.probe_interval = Duration::from_millis(v.max(1));
+        }
+        if let Some(v) = env_parse::<u64>("PEB_FLEET_PROBE_TIMEOUT_MS") {
+            c.probe_timeout = Duration::from_millis(v.max(1));
+        }
+        if let Some(v) = env_parse("PEB_FLEET_PROBE_FAILS") {
+            c.probe_fails = v;
+        }
+        if let Some(v) = env_parse("PEB_FLEET_BACKOFF_US") {
+            c.backoff_base_us = v;
+        }
+        if let Some(v) = env_parse("PEB_FLEET_BACKOFF_CAP_US") {
+            c.backoff_cap_us = v;
+        }
+        if let Some(v) = env_parse::<u64>("PEB_FLEET_ATTEMPT_MS") {
+            c.attempt_timeout = Some(Duration::from_millis(v.max(1)));
+        }
+        if let Some(v) = env_parse::<u64>("PEB_FLEET_DRAIN_MS") {
+            c.drain_timeout = Duration::from_millis(v);
+        }
+        if let Some(v) = env_parse("PEB_FLEET_CONNS") {
+            c.conn_workers = v;
+        }
+        if let Ok(v) = std::env::var("PEB_FLEET_WORKER_BIN") {
+            if !v.is_empty() {
+                c.worker_bin = Some(std::path::PathBuf::from(v));
+            }
+        }
+        c.normalized()
+    }
+
+    /// Clamps degenerate values so a typo'd env var cannot wedge the
+    /// router (zero workers, zero attempts, …).
+    pub fn normalized(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        if self.max_attempts == 0 {
+            self.max_attempts = 2 * self.workers;
+        }
+        self.probe_fails = self.probe_fails.max(1);
+        self.backoff_base_us = self.backoff_base_us.max(1);
+        self.backoff_cap_us = self.backoff_cap_us.max(self.backoff_base_us);
+        self.conn_workers = self.conn_workers.max(1);
+        self
+    }
+
+    /// Resolves the worker binary path: the explicit override, or a
+    /// `peb_worker` sibling of the current executable.
+    pub fn worker_bin(&self) -> std::path::PathBuf {
+        if let Some(p) = &self.worker_bin {
+            return p.clone();
+        }
+        let mut p = std::env::current_exe().unwrap_or_else(|_| std::path::PathBuf::from("."));
+        p.set_file_name("peb_worker");
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_clamps_zeros() {
+        let c = FleetConfig {
+            workers: 0,
+            max_attempts: 0,
+            probe_fails: 0,
+            backoff_base_us: 0,
+            backoff_cap_us: 0,
+            conn_workers: 0,
+            ..FleetConfig::default()
+        }
+        .normalized();
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.max_attempts, 2, "2 attempts per (single) worker");
+        assert_eq!(c.probe_fails, 1);
+        assert!(c.backoff_base_us >= 1);
+        assert!(c.backoff_cap_us >= c.backoff_base_us);
+        assert_eq!(c.conn_workers, 1);
+    }
+
+    #[test]
+    fn default_attempts_scale_with_workers() {
+        let c = FleetConfig {
+            workers: 3,
+            ..FleetConfig::default()
+        }
+        .normalized();
+        assert_eq!(c.max_attempts, 6);
+    }
+}

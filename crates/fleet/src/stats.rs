@@ -1,0 +1,90 @@
+//! Fleet-level counters and the per-shard state table behind the
+//! router's `/stats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::supervisor::Shards;
+
+/// Router counters, mirrored into `peb-obs` (`fleet_requests`,
+/// `fleet_retries`, `fleet_failovers`, `fleet_restarts`,
+/// `fleet_deadline_shed`) so a traced run folds fleet activity into the
+/// same profile as the workers' kernels.
+#[derive(Debug, Default)]
+pub struct FleetStats {
+    /// Requests that reached a terminal response at the router.
+    pub requests: AtomicU64,
+    /// Upstream attempts beyond each request's first.
+    pub retries: AtomicU64,
+    /// Retries that moved to a *different* shard than the previous
+    /// attempt (a strict subset of `retries`).
+    pub failovers: AtomicU64,
+    /// Requests shed with 504 at the router (deadline expired before or
+    /// between attempts; workers count their own coalescer sheds).
+    pub deadline_shed: AtomicU64,
+    /// Worker responses rejected for a bad CRC footer or legacy frame
+    /// version — never forwarded to the client.
+    pub corrupt_rejected: AtomicU64,
+}
+
+impl FleetStats {
+    /// Records one terminal router response.
+    pub fn tick_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        peb_obs::count(peb_obs::Counter::FleetRequests, 1);
+    }
+
+    /// Records one retry; `failover` marks a shard change.
+    pub fn tick_retry(&self, failover: bool) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        peb_obs::count(peb_obs::Counter::FleetRetries, 1);
+        if failover {
+            self.failovers.fetch_add(1, Ordering::Relaxed);
+            peb_obs::count(peb_obs::Counter::FleetFailovers, 1);
+        }
+    }
+
+    /// Records one router-side deadline shed (504).
+    pub fn tick_deadline_shed(&self) {
+        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+        peb_obs::count(peb_obs::Counter::FleetDeadlineShed, 1);
+    }
+
+    /// Records one corrupt/legacy worker response caught by the
+    /// integrity check.
+    pub fn tick_corrupt_rejected(&self) {
+        self.corrupt_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the router's `/stats` JSON body, including the live
+    /// per-shard table (state, address, restart count).
+    pub fn to_json(&self, shards: &Shards) -> String {
+        let per_shard: Vec<String> = shards
+            .slots()
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let addr = slot
+                    .addr()
+                    .map(|a| format!("\"{a}\""))
+                    .unwrap_or_else(|| "null".to_string());
+                format!(
+                    "{{\"shard\":{i},\"state\":\"{}\",\"addr\":{addr},\"restarts\":{}}}",
+                    slot.state().name(),
+                    slot.restarts(),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"requests\":{},\"retries\":{},\"failovers\":{},\"deadline_shed\":{},\"corrupt_rejected\":{},\"restarts\":{},\"workers\":{},\"up\":{},\"shards\":[{}]}}",
+            self.requests.load(Ordering::Relaxed),
+            self.retries.load(Ordering::Relaxed),
+            self.failovers.load(Ordering::Relaxed),
+            self.deadline_shed.load(Ordering::Relaxed),
+            self.corrupt_rejected.load(Ordering::Relaxed),
+            shards.total_restarts(),
+            shards.slots().len(),
+            shards.up_count(),
+            per_shard.join(","),
+        )
+    }
+}

@@ -15,6 +15,15 @@
 //! | `kill[:EPOCH]` | abort the run with [`PebError::Injected`] right after the checkpoint of `EPOCH` (default 1) is written — the resume test then continues from disk |
 //! | `truncate-data[:BYTES]` | after the next dataset write, truncate the file by `BYTES` (default 64) bytes |
 //! | `disconnect` | drop the next `peb-serve` client connection mid-response (abrupt socket close after the headers, before the body) |
+//! | `kill-worker[:N]` | abort the process (`SIGABRT`-style, no cleanup) at the start of the `N`th inference batch after arming (default 0 = the next one) — a serving worker dying mid-batch |
+//! | `hang-worker[:N]` | wedge the serving process at the `N`th request after arming: every connection thread stops reading and writing, simulating a live-but-unresponsive worker (liveness probes time out, the process does not exit) |
+//! | `corrupt-resp[:N]` | flip one payload byte of the `N`th inference response frame after arming, exercising the `PEBRESP2` CRC reject path in routers and clients |
+//!
+//! The three `*-worker`/`corrupt-resp` faults carry a *countdown*
+//! rather than an epoch: each matching probe decrements it and the
+//! fault fires when it reaches zero, so a chaos schedule can plant
+//! "fail on the 50th request" into a worker's environment and drive a
+//! deterministic failure mid-load.
 //!
 //! The checkpoint faults double as *hot-swap* faults: `peb-serve` probes
 //! [`mangle_checkpoint`] on the file it is about to load, so an armed
@@ -61,6 +70,24 @@ pub enum Chaos {
     },
     /// Drop the next served client connection mid-response.
     Disconnect,
+    /// Abort the process at the start of an inference batch (the
+    /// countdown is decremented once per batch, firing at zero).
+    KillWorker {
+        /// Matching probes remaining before the fault fires.
+        after: u64,
+    },
+    /// Wedge the serving process: stop reading and writing on every
+    /// connection without exiting (countdown per request).
+    HangWorker {
+        /// Matching probes remaining before the fault fires.
+        after: u64,
+    },
+    /// Flip one payload byte of an inference response frame so its
+    /// CRC-32 footer no longer verifies (countdown per response).
+    CorruptResp {
+        /// Matching probes remaining before the fault fires.
+        after: u64,
+    },
 }
 
 /// Fast disarm flag: `false` ⇒ nothing armed, probes return immediately.
@@ -126,6 +153,15 @@ pub fn parse(spec: &str) -> Option<Chaos> {
             bytes: arg.unwrap_or(64),
         }),
         "disconnect" => Some(Chaos::Disconnect),
+        "kill-worker" => Some(Chaos::KillWorker {
+            after: arg.unwrap_or(0),
+        }),
+        "hang-worker" => Some(Chaos::HangWorker {
+            after: arg.unwrap_or(0),
+        }),
+        "corrupt-resp" => Some(Chaos::CorruptResp {
+            after: arg.unwrap_or(0),
+        }),
         _ => None,
     }
 }
@@ -186,6 +222,59 @@ pub fn take_kill(epoch: u64) -> bool {
 /// server responds by closing the socket mid-response.
 pub fn take_disconnect() -> bool {
     take_if(|c| matches!(c, Chaos::Disconnect)).is_some()
+}
+
+/// Decrements the countdown a matching armed fault carries; fires
+/// (consuming the fault) when the countdown is already zero. Each call
+/// is one "matching probe" in the `PEB_CHAOS` table: `fault:3` survives
+/// three probes and fires on the fourth.
+fn fire_after(select: impl Fn(&mut Chaos) -> Option<&mut u64>) -> bool {
+    if !probe() {
+        return false;
+    }
+    let mut s = state();
+    if let ChaosState::Armed(c) = &mut *s {
+        if let Some(after) = select(c) {
+            if *after == 0 {
+                *s = ChaosState::Disarmed;
+                ARMED.store(false, Ordering::Relaxed);
+                return true;
+            }
+            *after -= 1;
+        }
+    }
+    false
+}
+
+/// True exactly once when a worker-kill fault reaches its countdown —
+/// probed by `peb-serve` at the start of every inference batch; the
+/// worker responds by aborting the whole process.
+pub fn take_kill_worker() -> bool {
+    fire_after(|c| match c {
+        Chaos::KillWorker { after } => Some(after),
+        _ => None,
+    })
+}
+
+/// True exactly once when a worker-hang fault reaches its countdown —
+/// probed by `peb-serve` per request; the worker responds by wedging
+/// every connection thread (alive but unresponsive).
+pub fn take_hang_worker() -> bool {
+    fire_after(|c| match c {
+        Chaos::HangWorker { after } => Some(after),
+        _ => None,
+    })
+}
+
+/// True exactly once when a corrupt-response fault reaches its
+/// countdown — probed by `peb-serve` per inference response; the
+/// worker responds by flipping a payload byte after the CRC footer was
+/// computed.
+pub fn take_corrupt_resp() -> bool {
+    fire_after(|c| match c {
+        Chaos::CorruptResp { after } => Some(after),
+        _ => None,
+    })
 }
 
 /// Applies any armed checkpoint-file corruption to `path` (called after
@@ -282,7 +371,31 @@ mod tests {
             Some(Chaos::TruncateData { bytes: 64 })
         );
         assert_eq!(parse("disconnect"), Some(Chaos::Disconnect));
+        assert_eq!(parse("kill-worker"), Some(Chaos::KillWorker { after: 0 }));
+        assert_eq!(parse("hang-worker:7"), Some(Chaos::HangWorker { after: 7 }));
+        assert_eq!(
+            parse("corrupt-resp:50"),
+            Some(Chaos::CorruptResp { after: 50 })
+        );
         assert_eq!(parse("meteor-strike"), None);
+    }
+
+    #[test]
+    fn countdown_faults_fire_at_zero_and_only_once() {
+        let _l = lock();
+        arm(Chaos::CorruptResp { after: 2 });
+        assert!(!take_corrupt_resp(), "countdown 2 → no fire");
+        assert!(!take_kill_worker(), "non-matching probe must not count");
+        assert!(!take_corrupt_resp(), "countdown 1 → no fire");
+        assert!(take_corrupt_resp(), "countdown 0 → fire");
+        assert!(!take_corrupt_resp(), "already consumed");
+        assert_eq!(armed(), None);
+        arm(Chaos::KillWorker { after: 0 });
+        assert!(take_kill_worker(), "default countdown fires immediately");
+        arm(Chaos::HangWorker { after: 1 });
+        assert!(!take_hang_worker());
+        assert!(take_hang_worker());
+        disarm();
     }
 
     #[test]

@@ -222,9 +222,25 @@ pub enum Counter {
     /// Bytes materialised into record-and-replay arenas (aggregated
     /// across plans; the per-plan high-water mark lives in the plan).
     ArenaBytes = 25,
+    /// Inference requests accepted by the `peb-fleet` router (sheds and
+    /// upstream failures are still counted here; they are terminal
+    /// router responses).
+    FleetRequests = 26,
+    /// Upstream attempts the router retried after a worker failure
+    /// (connect refused/reset, response timeout, CRC-bad frame, 429).
+    FleetRetries = 27,
+    /// Requests ultimately served by a shard other than their hash-ring
+    /// owner (degraded ring or mid-request failover).
+    FleetFailovers = 28,
+    /// Worker processes restarted by the fleet supervisor after a
+    /// crash or a liveness-probe failure streak.
+    FleetRestarts = 29,
+    /// Requests shed by the router or the worker coalescer because the
+    /// propagated deadline would have expired before service (504).
+    FleetDeadlineShed = 30,
 }
 
-const N_COUNTERS: usize = 26;
+const N_COUNTERS: usize = 31;
 
 const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "gemm_flops",
@@ -253,6 +269,11 @@ const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "plan_hits",
     "plan_replays",
     "arena_bytes",
+    "fleet_requests",
+    "fleet_retries",
+    "fleet_failovers",
+    "fleet_restarts",
+    "fleet_deadline_shed",
 ];
 
 #[allow(clippy::declare_interior_mutable_const)]

@@ -16,6 +16,41 @@ use crate::clip;
 use crate::error::ServeError;
 use crate::stats::ModelVersion;
 
+/// Socket timeouts a [`Client`] applies at each phase. `None` means
+/// block indefinitely (the OS default for that phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientTimeouts {
+    /// TCP connect timeout.
+    pub connect: Option<Duration>,
+    /// Per-`read` timeout while waiting for response bytes.
+    pub read: Option<Duration>,
+    /// Per-`write` timeout while sending the request.
+    pub write: Option<Duration>,
+}
+
+impl Default for ClientTimeouts {
+    /// The historical defaults: 5 s connect, 30 s read, 30 s write.
+    fn default() -> Self {
+        ClientTimeouts {
+            connect: Some(Duration::from_secs(5)),
+            read: Some(Duration::from_secs(30)),
+            write: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl ClientTimeouts {
+    /// Uniform timeouts across all three phases — probes and routers
+    /// that want one latency budget per upstream exchange.
+    pub fn uniform(d: Duration) -> Self {
+        ClientTimeouts {
+            connect: Some(d),
+            read: Some(d),
+            write: Some(d),
+        }
+    }
+}
+
 /// One keep-alive client connection.
 pub struct Client {
     stream: TcpStream,
@@ -34,7 +69,14 @@ pub struct ClientResponse {
 /// Client-side failure (socket or framing).
 #[derive(Debug)]
 pub enum ClientError {
-    /// Socket-level failure.
+    /// A configured timeout elapsed — distinguishable from other io
+    /// failures so callers (the fleet router, bench loops) can treat a
+    /// slow upstream differently from a dead one.
+    Timeout {
+        /// Which phase timed out (`"connect"`, `"read"` or `"write"`).
+        phase: &'static str,
+    },
+    /// Socket-level failure (connection refused/reset, EOF, …).
     Io(std::io::Error),
     /// The server's response violated `Content-Length` framing.
     BadResponse(String),
@@ -42,9 +84,24 @@ pub enum ClientError {
     Status(u16, String),
 }
 
+impl ClientError {
+    /// Whether this failure means the upstream did not durably process
+    /// the request from this client's point of view — i.e. a retry on
+    /// another shard is safe and warranted (inference is idempotent).
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Timeout { .. } | ClientError::Io(_) | ClientError::BadResponse(_) => true,
+            // 429 (shed) and 5xx are retryable elsewhere; 4xx client
+            // errors are deterministic and would fail identically.
+            ClientError::Status(code, _) => *code == 429 || *code >= 500,
+        }
+    }
+}
+
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ClientError::Timeout { phase } => write!(f, "{phase} timeout"),
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::BadResponse(d) => write!(f, "bad response: {d}"),
             ClientError::Status(s, body) => write!(f, "status {s}: {}", body.trim_end()),
@@ -60,20 +117,61 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Folds a phase's io error into the typed timeout when its kind says
+/// the configured deadline elapsed.
+fn phase_error(phase: &'static str, e: std::io::Error) -> ClientError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            ClientError::Timeout { phase }
+        }
+        _ => ClientError::Io(e),
+    }
+}
+
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with the default timeouts
+    /// ([`ClientTimeouts::default`]).
     ///
     /// # Errors
     ///
-    /// Propagates connect failures.
+    /// Propagates connect failures; a connect that exceeds the default
+    /// 5 s budget is a typed [`ClientError::Timeout`].
     pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientTimeouts::default())
+    }
+
+    /// Connects with explicit per-phase timeouts. The read/write
+    /// budgets stick to the connection; [`Client::set_read_timeout`]
+    /// can tighten the read budget per request afterwards (the fleet
+    /// router re-arms it with each request's remaining deadline).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] when the connect budget elapses,
+    /// [`ClientError::Io`] for other socket failures.
+    pub fn connect_with(addr: SocketAddr, timeouts: ClientTimeouts) -> Result<Self, ClientError> {
+        let stream = match timeouts.connect {
+            Some(d) => TcpStream::connect_timeout(&addr, d).map_err(|e| phase_error("connect", e)),
+            None => TcpStream::connect(addr).map_err(ClientError::Io),
+        }?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(timeouts.read)?;
+        stream.set_write_timeout(timeouts.write)?;
         Ok(Client {
             stream,
             buf: Vec::new(),
         })
+    }
+
+    /// Re-arms the per-`read` timeout (e.g. to a request's remaining
+    /// deadline). `None` blocks indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_read_timeout(&mut self, d: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(d)?;
+        Ok(())
     }
 
     /// Sends one request and reads its complete response.
@@ -90,12 +188,34 @@ impl Client {
         path: &str,
         body: &[u8],
     ) -> Result<ClientResponse, ClientError> {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: peb-serve\r\ncontent-length: {}\r\n\r\n",
-            body.len()
-        );
-        self.stream.write_all(head.as_bytes())?;
-        self.stream.write_all(body)?;
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`Client::request`] with extra header fields (e.g. the fleet
+    /// router's `x-peb-deadline-us` propagation).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`]; a write that exceeds the write
+    /// budget is a typed [`ClientError::Timeout`].
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: peb-serve\r\n");
+        for (k, v) in headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+        self.stream
+            .write_all(head.as_bytes())
+            .map_err(|e| phase_error("write", e))?;
+        self.stream
+            .write_all(body)
+            .map_err(|e| phase_error("write", e))?;
         self.read_response()
     }
 
@@ -136,7 +256,10 @@ impl Client {
 
     fn fill(&mut self) -> Result<(), ClientError> {
         let mut chunk = [0u8; 16 * 1024];
-        let n = self.stream.read(&mut chunk)?;
+        let n = self
+            .stream
+            .read(&mut chunk)
+            .map_err(|e| phase_error("read", e))?;
         if n == 0 {
             return Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,

@@ -22,6 +22,7 @@ pub enum ModelPreset {
 /// | `PEB_SERVE_MAX_BATCH` | `max_batch` | `8` |
 /// | `PEB_SERVE_MAX_WAIT_US` | `max_wait_us` | `500` |
 /// | `PEB_SERVE_QUEUE` | `queue_cap` | `64` |
+/// | `PEB_SERVE_READY_HWM` | `ready_hwm` | `3·queue_cap/4` |
 /// | `PEB_SERVE_WORKERS` | `conn_workers` | `2` |
 /// | `PEB_SERVE_THREADS` | `compute_threads` | unset (peb-par default) |
 /// | `PEB_SERVE_PREC` | `default_prec` (`f32`/`bf16`/`int8`) | `f32` |
@@ -42,6 +43,11 @@ pub struct ServeConfig {
     pub max_wait_us: u64,
     /// Bounded inference queue depth; a full queue sheds with 429.
     pub queue_cap: usize,
+    /// Readiness high-water mark: `/readyz` answers 503 while the
+    /// queue holds more than this many jobs (or a swap is in flight),
+    /// so routers stop sending work *before* the queue fills and 429s
+    /// start. `None` → `3·queue_cap/4` after normalisation.
+    pub ready_hwm: Option<usize>,
     /// Connection-handling threads (each runs its own accept loop).
     pub conn_workers: usize,
     /// Kernel thread count forced on the engine thread (`None` = the
@@ -65,6 +71,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_wait_us: 500,
             queue_cap: 64,
+            ready_hwm: None,
             conn_workers: 2,
             compute_threads: None,
             default_prec: peb_simd::Prec::F32,
@@ -106,6 +113,9 @@ impl ServeConfig {
         if let Some(v) = env_parse("PEB_SERVE_QUEUE") {
             c.queue_cap = v;
         }
+        if let Some(v) = env_parse("PEB_SERVE_READY_HWM") {
+            c.ready_hwm = Some(v);
+        }
         if let Some(v) = env_parse("PEB_SERVE_WORKERS") {
             c.conn_workers = v;
         }
@@ -127,7 +137,17 @@ impl ServeConfig {
         self.max_batch = self.max_batch.max(1);
         self.queue_cap = self.queue_cap.max(1);
         self.conn_workers = self.conn_workers.max(1);
+        // Default high-water at 3/4 of the queue, clamped into
+        // [1, queue_cap] so readiness can neither trip on an empty
+        // queue nor stay green past the shed point.
+        let hwm = self.ready_hwm.unwrap_or(3 * self.queue_cap / 4);
+        self.ready_hwm = Some(hwm.clamp(1, self.queue_cap));
         self
+    }
+
+    /// The resolved readiness high-water mark (post-normalisation).
+    pub fn ready_hwm(&self) -> usize {
+        self.ready_hwm.unwrap_or(3 * self.queue_cap / 4).max(1)
     }
 
     /// Largest `/infer` body the HTTP layer should accept: one frame at
@@ -175,6 +195,20 @@ mod tests {
         assert_eq!(c.max_batch, 1);
         assert_eq!(c.queue_cap, 1);
         assert_eq!(c.conn_workers, 1);
+        assert_eq!(c.ready_hwm(), 1);
+    }
+
+    #[test]
+    fn ready_hwm_defaults_to_three_quarters_and_clamps() {
+        let c = ServeConfig::default().normalized();
+        assert_eq!(c.ready_hwm(), 48, "3/4 of the default 64-deep queue");
+        let c = ServeConfig {
+            queue_cap: 8,
+            ready_hwm: Some(100),
+            ..ServeConfig::default()
+        }
+        .normalized();
+        assert_eq!(c.ready_hwm(), 8, "hwm clamps to the queue depth");
     }
 
     #[test]

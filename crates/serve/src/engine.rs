@@ -30,6 +30,7 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -54,6 +55,10 @@ struct InferJob {
     /// Compute precision this request selected (`?prec=`, or the
     /// server default).
     prec: peb_simd::Prec,
+    /// Propagated deadline (`X-Peb-Deadline-Us`); the batch coalescer
+    /// sheds the job with 504 if it is still unserved at this instant,
+    /// and never waits for stragglers past it.
+    deadline: Option<Instant>,
     reply: SyncSender<Result<Tensor, ServeError>>,
 }
 
@@ -100,6 +105,26 @@ impl EngineHandle {
     ///
     /// Same as [`EngineHandle::infer`].
     pub fn infer_prec(&self, clip: Tensor, prec: peb_simd::Prec) -> Result<Tensor, ServeError> {
+        self.infer_with(clip, prec, None)
+    }
+
+    /// [`EngineHandle::infer_prec`] with an optional propagated
+    /// deadline. A job whose deadline has already passed when the batch
+    /// coalescer picks it up is shed with
+    /// [`ServeError::DeadlineExceeded`] (504) rather than served late,
+    /// and the coalescer never waits for stragglers past the earliest
+    /// deadline in the forming batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EngineHandle::infer`], plus
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn infer_with(
+        &self,
+        clip: Tensor,
+        prec: peb_simd::Prec,
+        deadline: Option<Instant>,
+    ) -> Result<Tensor, ServeError> {
         let s = clip.shape();
         let &[d, h, w] = s else {
             return Err(ServeError::BadClip {
@@ -113,13 +138,20 @@ impl EngineHandle {
                 max: self.grid,
             });
         }
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                self.stats.tick_deadline_shed();
+                return Err(ServeError::DeadlineExceeded);
+            }
+        }
         let (tx, rx) = mpsc::sync_channel(1);
         match self.jobs.try_send(InferJob {
             clip,
             prec,
+            deadline,
             reply: tx,
         }) {
-            Ok(()) => {}
+            Ok(()) => self.stats.queue_push(),
             Err(TrySendError::Full(_)) => {
                 self.stats.tick_shed();
                 return Err(ServeError::Overloaded);
@@ -138,11 +170,18 @@ impl EngineHandle {
     /// decoding, or shape validation — the previous model keeps
     /// serving. [`ServeError::EngineGone`] after shutdown.
     pub fn swap(&self, path: PathBuf) -> Result<ModelVersion, ServeError> {
-        let (tx, rx) = mpsc::sync_channel(1);
-        self.ctrl
-            .send(CtrlMsg::Swap { path, reply: tx })
-            .map_err(|_| ServeError::EngineGone)?;
-        rx.recv().map_err(|_| ServeError::EngineGone)?
+        // While a swap is in flight `/readyz` answers 503, steering
+        // routers away before the between-batches splice.
+        self.stats.swaps_inflight.fetch_add(1, Ordering::Relaxed);
+        let r = (|| {
+            let (tx, rx) = mpsc::sync_channel(1);
+            self.ctrl
+                .send(CtrlMsg::Swap { path, reply: tx })
+                .map_err(|_| ServeError::EngineGone)?;
+            rx.recv().map_err(|_| ServeError::EngineGone)?
+        })();
+        self.stats.swaps_inflight.fetch_sub(1, Ordering::Relaxed);
+        r
     }
 
     /// The shared statistics block.
@@ -153,6 +192,11 @@ impl EngineHandle {
     /// The model grid `(D, H, W)` this engine serves.
     pub fn grid(&self) -> (usize, usize, usize) {
         self.grid
+    }
+
+    /// The precision applied when a request does not select one.
+    pub fn default_prec(&self) -> peb_simd::Prec {
+        self.default_prec
     }
 }
 
@@ -277,7 +321,9 @@ fn engine_main(
 }
 
 /// Gathers up to `max_batch` jobs: greedy drain of whatever is queued,
-/// then wait up to `max_wait_us` for stragglers.
+/// then wait up to `max_wait_us` for stragglers — never past the
+/// earliest propagated deadline already in the forming batch (waiting
+/// longer could only turn a servable request into a 504 shed).
 fn collect_batch(
     config: &ServeConfig,
     jobs: &Receiver<InferJob>,
@@ -291,13 +337,16 @@ fn collect_batch(
         }
     }
     if config.max_wait_us > 0 && batch.len() < config.max_batch {
-        let deadline = Instant::now() + Duration::from_micros(config.max_wait_us);
+        let mut wait_until = Instant::now() + Duration::from_micros(config.max_wait_us);
         while batch.len() < config.max_batch {
+            if let Some(earliest) = batch.iter().filter_map(|j| j.deadline).min() {
+                wait_until = wait_until.min(earliest);
+            }
             let now = Instant::now();
-            if now >= deadline {
+            if now >= wait_until {
                 break;
             }
-            match jobs.recv_timeout(deadline - now) {
+            match jobs.recv_timeout(wait_until - now) {
                 Ok(j) => batch.push(j),
                 Err(_) => break,
             }
@@ -311,9 +360,37 @@ fn run_batch(
     stats: &Arc<ServeStats>,
     model: &SdmPeb,
     plans: &mut PlanCache,
-    batch: Vec<InferJob>,
+    mut batch: Vec<InferJob>,
 ) {
     let _span = peb_obs::span("serve.batch");
+    // Every collected job has left the bounded queue, whatever its fate.
+    for _ in &batch {
+        stats.queue_pop();
+    }
+    // Chaos hook: an armed kill-worker fault aborts the whole process
+    // at the top of a batch — mid-request from the router's point of
+    // view — exercising supervisor restart and router failover.
+    if peb_guard::chaos::take_kill_worker() {
+        eprintln!("peb-serve: chaos kill-worker fired, aborting");
+        std::process::abort();
+    }
+    // Deadline sheds happen at batch start: a job whose propagated
+    // deadline has already passed is answered 504 now rather than
+    // served late (the caller has given up; compute would be wasted).
+    let now = Instant::now();
+    let mut kept = Vec::with_capacity(batch.len());
+    for job in batch.drain(..) {
+        if job.deadline.is_some_and(|dl| now >= dl) {
+            stats.tick_deadline_shed();
+            let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+        } else {
+            kept.push(job);
+        }
+    }
+    let batch = kept;
+    if batch.is_empty() {
+        return;
+    }
     stats.tick_batch(batch.len());
     // Jobs of different precisions share the queue and the batch
     // window; the engine partitions here and runs each precision group
@@ -540,6 +617,32 @@ mod tests {
         let model = build_model(&cfg);
         let direct = crop_to(&model.predict(&pad_to_grid(&clip, cfg.grid)), (2, 8, 8));
         assert_eq!(served.bit_digest(), direct.bit_digest());
+    }
+
+    #[test]
+    fn expired_deadline_sheds_with_504_and_queue_depth_settles() {
+        let cfg = tiny_config();
+        let (engine, handle) = Engine::spawn(&cfg);
+        let past = Instant::now()
+            .checked_sub(Duration::from_millis(1))
+            .unwrap_or_else(Instant::now);
+        let err = handle
+            .infer_with(Tensor::zeros(&[4, 16, 16]), peb_simd::Prec::F32, Some(past))
+            .expect_err("expired deadline");
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        // A generous deadline serves normally.
+        let y = handle
+            .infer_with(
+                Tensor::zeros(&[4, 16, 16]),
+                peb_simd::Prec::F32,
+                Some(Instant::now() + Duration::from_secs(30)),
+            )
+            .expect("served within deadline");
+        assert_eq!(y.shape(), &[4, 16, 16]);
+        let stats = Arc::clone(handle.stats());
+        engine.shutdown();
+        assert!(stats.deadline_shed.load(Ordering::Relaxed) >= 1);
+        assert_eq!(stats.queue_depth.load(Ordering::Relaxed), 0);
     }
 
     #[test]

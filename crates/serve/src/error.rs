@@ -36,6 +36,32 @@ pub enum ServeError {
     MethodNotAllowed,
     /// The inference engine is gone (shutdown or panic) — terminal.
     EngineGone,
+    /// The request's propagated deadline expired before the batch
+    /// coalescer could run it — shed with 504 rather than served late.
+    DeadlineExceeded,
+    /// The server is alive but not ready: the bounded queue is above
+    /// its high-water mark or a checkpoint swap is in flight
+    /// (`/readyz` → 503; routers stop routing here before 429s start).
+    NotReady {
+        /// Which readiness condition failed.
+        detail: String,
+    },
+    /// A response frame used a retired wire version (`PEBRESP1`) that
+    /// carries no integrity footer.
+    LegacyFrame {
+        /// Version actually seen.
+        got: String,
+        /// Version this reader speaks.
+        want: String,
+    },
+    /// A response frame's CRC-32 footer did not verify — the frame was
+    /// torn or corrupted in the worker or on the wire.
+    CorruptFrame {
+        /// CRC stored in the footer.
+        stored: u32,
+        /// CRC computed over the received payload.
+        computed: u32,
+    },
 }
 
 impl ServeError {
@@ -50,6 +76,11 @@ impl ServeError {
             ServeError::NotFound => 404,
             ServeError::MethodNotAllowed => 405,
             ServeError::EngineGone => 503,
+            ServeError::DeadlineExceeded => 504,
+            ServeError::NotReady { .. } => 503,
+            // A corrupt or legacy upstream frame surfaces from a proxy
+            // as a bad-gateway; workers themselves never emit these.
+            ServeError::LegacyFrame { .. } | ServeError::CorruptFrame { .. } => 502,
         }
     }
 }
@@ -69,6 +100,17 @@ impl fmt::Display for ServeError {
             ServeError::NotFound => write!(f, "no such route"),
             ServeError::MethodNotAllowed => write!(f, "method not allowed on this route"),
             ServeError::EngineGone => write!(f, "inference engine unavailable"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline expired before service, request shed")
+            }
+            ServeError::NotReady { detail } => write!(f, "not ready: {detail}"),
+            ServeError::LegacyFrame { got, want } => {
+                write!(f, "legacy response frame {got} (this reader wants {want})")
+            }
+            ServeError::CorruptFrame { stored, computed } => write!(
+                f,
+                "response frame CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
         }
     }
 }
@@ -97,6 +139,24 @@ mod tests {
         );
         assert_eq!(ServeError::NotFound.status(), 404);
         assert_eq!(ServeError::EngineGone.status(), 503);
+        assert_eq!(ServeError::DeadlineExceeded.status(), 504);
+        assert_eq!(ServeError::NotReady { detail: "q".into() }.status(), 503);
+        assert_eq!(
+            ServeError::CorruptFrame {
+                stored: 1,
+                computed: 2
+            }
+            .status(),
+            502
+        );
+        assert_eq!(
+            ServeError::LegacyFrame {
+                got: "PEBRESP1".into(),
+                want: "PEBRESP2".into()
+            }
+            .status(),
+            502
+        );
         assert_eq!(
             ServeError::ClipTooLarge {
                 got: (9, 9, 9),

@@ -14,7 +14,15 @@
 //!   version keeps serving without a dropped request.
 //! - **Backpressure** — the inference queue is bounded; when it is
 //!   full, requests are shed immediately with 429 instead of queueing
-//!   into latency collapse.
+//!   into latency collapse. `/readyz` goes 503 *before* that point (at
+//!   the queue high-water mark, or while a swap is in flight) so
+//!   routers drain away early.
+//! - **Deadlines** — an `X-Peb-Deadline-Us` request header propagates
+//!   the caller's remaining budget; the batch coalescer sheds expired
+//!   jobs with 504 rather than serving answers nobody is waiting for.
+//! - **Integrity** — `/infer` responses are `PEBRESP2` frames carrying
+//!   a CRC-32 footer, so a proxy can reject a torn or corrupted frame
+//!   (502) instead of forwarding garbage bits.
 //!
 //! ```no_run
 //! use peb_serve::{Client, ServeConfig, Server};
@@ -35,7 +43,11 @@
 //! `serve_shed`, `serve_hotswaps`) flow through `peb-obs` under
 //! `PEB_TRACE`. Fault injection: `PEB_CHAOS=truncate-ckpt|bitflip-ckpt`
 //! corrupts the next hot-swap load, `PEB_CHAOS=disconnect` drops the
-//! next client mid-response (see `peb-guard`'s chaos module).
+//! next client mid-response, and the fleet-grade faults
+//! `kill-worker[:N]` (abort at the top of a batch), `hang-worker[:N]`
+//! (wedge every connection thread) and `corrupt-resp[:N]` (flip a
+//! response byte so the CRC footer fails) exercise supervisor restart
+//! and router failover (see `peb-guard`'s chaos module).
 
 pub mod client;
 pub mod clip;
@@ -46,7 +58,7 @@ pub mod http;
 pub mod server;
 pub mod stats;
 
-pub use client::{Client, ClientError, ClientResponse};
+pub use client::{Client, ClientError, ClientResponse, ClientTimeouts};
 pub use config::{ModelPreset, ServeConfig};
 pub use engine::{Engine, EngineHandle};
 pub use error::{Result, ServeError};

@@ -5,11 +5,18 @@
 //!
 //! | method | path | body | response |
 //! |--------|------|------|----------|
-//! | GET | `/healthz` | — | `200 ok` |
+//! | GET | `/healthz` | — | `200 ok` (liveness: the process answers) |
+//! | GET | `/readyz` | — | `200 ready`, or `503` while the queue is past its high-water mark or a swap is in flight |
 //! | GET | `/stats` | — | JSON counters + batch histogram + model version |
 //! | GET | `/version` | — | JSON model version |
-//! | POST | `/infer` | `PEBCLIP1` frame | `PEBRESP1` frame |
+//! | POST | `/infer` | `PEBCLIP1` frame | `PEBRESP2` frame (CRC-32 footer) |
 //! | POST | `/swap` | checkpoint path (text) | JSON new model version |
+//!
+//! `/infer` honours an optional `X-Peb-Deadline-Us` header: the request
+//! is shed with 504 if the batch coalescer cannot run it within that
+//! many microseconds of arrival (routers propagate their remaining
+//! budget here, so a slow worker never wastes compute on an answer the
+//! caller already gave up on).
 //!
 //! Every error is a typed [`ServeError`] with a deterministic status:
 //! 429 when the inference queue sheds, 409 when a hot-swap is rejected
@@ -20,7 +27,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::clip;
 use crate::config::ServeConfig;
@@ -32,6 +39,11 @@ use crate::stats::version_json;
 /// Read timeout on connections: bounds how long a quiet socket delays
 /// noticing shutdown.
 const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Chaos: once a `hang-worker` fault fires, every connection thread
+/// parks instead of serving — the process stays alive but health
+/// probes time out, exactly the wedge a supervisor must detect.
+static WEDGED: AtomicBool = AtomicBool::new(false);
 
 /// A running server (engine + accept threads).
 pub struct Server {
@@ -156,10 +168,25 @@ fn handle_conn(
     let mut parser = RequestParser::with_max_body(max_body);
     let mut buf = [0u8; 16 * 1024];
     loop {
+        if WEDGED.load(Ordering::Acquire) {
+            park_wedged(stop);
+            return;
+        }
         // Serve everything already buffered (pipelining).
         loop {
             match parser.poll() {
                 Ok(Some(req)) => {
+                    // Chaos hook: an armed `hang-worker` fault wedges the
+                    // whole process at this request — no thread reads or
+                    // writes again, so `/healthz` probes time out and
+                    // the supervisor must restart us.
+                    if peb_guard::chaos::take_hang_worker() {
+                        WEDGED.store(true, Ordering::Release);
+                    }
+                    if WEDGED.load(Ordering::Acquire) {
+                        park_wedged(stop);
+                        return;
+                    }
                     handle.stats().tick_request();
                     if !respond(&mut stream, handle, &req) {
                         return;
@@ -190,6 +217,16 @@ fn handle_conn(
     }
 }
 
+/// Parks a wedged connection thread. The wedge deliberately survives
+/// everything except process death or an in-process [`Server::shutdown`]
+/// (tests must still be able to join their threads); a real supervisor
+/// sees probe timeouts and kills the process.
+fn park_wedged(stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
 /// Routes one request and writes its response. Returns whether the
 /// connection stays open.
 fn respond(stream: &mut TcpStream, handle: &EngineHandle, req: &Request) -> bool {
@@ -209,7 +246,16 @@ fn respond(stream: &mut TcpStream, handle: &EngineHandle, req: &Request) -> bool
                 return false;
             }
             let keep = req.keep_alive;
-            let wire = encode_response(200, content_type, &body, keep);
+            let mut wire = encode_response(200, content_type, &body, keep);
+            // Chaos hook: an armed `corrupt-resp` fault flips the last
+            // byte of a binary response — the CRC-32 footer no longer
+            // verifies, so a checking reader must reject the frame
+            // instead of deserialising garbage.
+            if content_type == "application/octet-stream" && peb_guard::chaos::take_corrupt_resp() {
+                if let Some(last) = wire.last_mut() {
+                    *last ^= 0xFF;
+                }
+            }
             if stream.write_all(&wire).is_err() {
                 return false;
             }
@@ -232,17 +278,20 @@ fn respond(stream: &mut TcpStream, handle: &EngineHandle, req: &Request) -> bool
 fn route(handle: &EngineHandle, req: &Request) -> Result<(&'static str, Vec<u8>), ServeError> {
     match (&req.method, req.path()) {
         (Method::Get, "/healthz") => Ok(("text/plain", b"ok\n".to_vec())),
+        (Method::Get, "/readyz") => match handle.stats().readiness() {
+            Ok(()) => Ok(("text/plain", b"ready\n".to_vec())),
+            Err(detail) => Err(ServeError::NotReady { detail }),
+        },
         (Method::Get, "/stats") => Ok(("application/json", handle.stats().to_json().into_bytes())),
         (Method::Get, "/version") => Ok((
             "application/json",
             version_json(&handle.stats().version()).into_bytes(),
         )),
         (Method::Post, "/infer") => {
+            let deadline = requested_deadline(req)?;
             let t = clip::decode_clip(&req.body)?;
-            let y = match requested_prec(req)? {
-                Some(p) => handle.infer_prec(t, p)?,
-                None => handle.infer(t)?,
-            };
+            let p = requested_prec(req)?.unwrap_or_else(|| handle.default_prec());
+            let y = handle.infer_with(t, p, deadline)?;
             Ok(("application/octet-stream", clip::encode_resp(&y)))
         }
         (Method::Post, "/swap") => {
@@ -259,7 +308,7 @@ fn route(handle: &EngineHandle, req: &Request) -> Result<(&'static str, Vec<u8>)
             let v = handle.swap(std::path::PathBuf::from(path))?;
             Ok(("application/json", version_json(&v).into_bytes()))
         }
-        (_, "/healthz" | "/stats" | "/version" | "/infer" | "/swap") => {
+        (_, "/healthz" | "/readyz" | "/stats" | "/version" | "/infer" | "/swap") => {
             Err(ServeError::MethodNotAllowed)
         }
         _ => Err(ServeError::NotFound),
@@ -284,6 +333,21 @@ fn requested_prec(req: &Request) -> Result<Option<peb_simd::Prec>, ServeError> {
         }
     }
     Ok(None)
+}
+
+/// Resolves the `X-Peb-Deadline-Us` header into an absolute instant.
+/// `None` means no deadline was propagated; an unparsable value is a
+/// 400, not a silently unbounded request.
+fn requested_deadline(req: &Request) -> Result<Option<Instant>, ServeError> {
+    let Some(v) = req.header("x-peb-deadline-us") else {
+        return Ok(None);
+    };
+    let us: u64 = v.trim().parse().map_err(|_| {
+        ServeError::Http(HttpError::BadHeader {
+            detail: format!("x-peb-deadline-us {v:?} is not a microsecond count"),
+        })
+    })?;
+    Ok(Some(Instant::now() + Duration::from_micros(us)))
 }
 
 fn write_http_error(stream: &mut TcpStream, e: &HttpError) {

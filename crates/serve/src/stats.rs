@@ -53,6 +53,16 @@ pub struct ServeStats {
     pub batches: AtomicU64,
     /// Requests shed with 429 (queue full).
     pub shed: AtomicU64,
+    /// Requests shed with 504 (propagated deadline expired before the
+    /// batch coalescer could run them).
+    pub deadline_shed: AtomicU64,
+    /// Jobs currently accepted into the bounded queue and not yet
+    /// drained into a batch — the `/readyz` high-water signal.
+    pub queue_depth: AtomicU64,
+    /// Checkpoint swaps submitted and not yet committed/rejected; a
+    /// non-zero value turns `/readyz` 503 (the splice happens between
+    /// batches, so routers should drain away first).
+    pub swaps_inflight: AtomicU64,
     /// Successful checkpoint hot-swaps.
     pub hotswaps: AtomicU64,
     /// Hot-swaps rejected (corrupt/mismatched checkpoint).
@@ -78,6 +88,9 @@ pub struct ServeStats {
     pub max_wait_us: u64,
     /// Bounded inference queue depth (full → 429).
     pub queue_cap: usize,
+    /// Readiness high-water mark (`queue_depth > ready_hwm` → 503 on
+    /// `/readyz`).
+    pub ready_hwm: usize,
     /// Precision applied when a request does not pick one (`?prec=`).
     pub default_prec: Prec,
     version: Mutex<ModelVersion>,
@@ -92,6 +105,9 @@ impl ServeStats {
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            swaps_inflight: AtomicU64::new(0),
             hotswaps: AtomicU64::new(0),
             swaps_rejected: AtomicU64::new(0),
             plan_hits: AtomicU64::new(0),
@@ -103,6 +119,7 @@ impl ServeStats {
             max_batch: config.max_batch,
             max_wait_us: config.max_wait_us,
             queue_cap: config.queue_cap,
+            ready_hwm: config.ready_hwm(),
             default_prec: config.default_prec,
             version: Mutex::new(ModelVersion::base(config.seed)),
         }
@@ -131,6 +148,43 @@ impl ServeStats {
     pub fn tick_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
         peb_obs::count(peb_obs::Counter::ServeShed, 1);
+    }
+
+    /// Records one request shed because its deadline expired (504).
+    pub fn tick_deadline_shed(&self) {
+        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+        peb_obs::count(peb_obs::Counter::FleetDeadlineShed, 1);
+    }
+
+    /// Notes one job accepted into the bounded queue.
+    pub fn queue_push(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes one job drained from the queue into a batch.
+    pub fn queue_pop(&self) {
+        // Saturating: a racing pop on a fresh stats block must not wrap.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| d.checked_sub(1));
+    }
+
+    /// Whether the server should advertise readiness: the queue is at
+    /// or below the high-water mark and no swap is in flight. Returns
+    /// the failing condition otherwise.
+    pub fn readiness(&self) -> Result<(), String> {
+        let depth = self.queue_depth.load(Ordering::Relaxed);
+        if depth > self.ready_hwm as u64 {
+            return Err(format!(
+                "queue depth {depth} above high-water mark {}",
+                self.ready_hwm
+            ));
+        }
+        let swaps = self.swaps_inflight.load(Ordering::Relaxed);
+        if swaps > 0 {
+            return Err(format!("{swaps} checkpoint swap(s) in flight"));
+        }
+        Ok(())
     }
 
     /// Records a successful hot-swap and publishes the new version.
@@ -206,10 +260,14 @@ impl ServeStats {
             })
             .collect();
         format!(
-            "{{\"requests\":{},\"batches\":{},\"shed\":{},\"hotswaps\":{},\"swaps_rejected\":{},\"plan_hits\":{},\"plan_misses\":{},\"plan_invalidations\":{},\"arena_hwm_bytes\":{},\"max_batch\":{},\"max_wait_us\":{},\"queue_cap\":{},\"precision\":{},\"prec_infers\":{{{}}},\"batch_hist\":{{{}}},\"model\":{}}}",
+            "{{\"requests\":{},\"batches\":{},\"shed\":{},\"deadline_shed\":{},\"queue_depth\":{},\"ready_hwm\":{},\"swaps_inflight\":{},\"hotswaps\":{},\"swaps_rejected\":{},\"plan_hits\":{},\"plan_misses\":{},\"plan_invalidations\":{},\"arena_hwm_bytes\":{},\"max_batch\":{},\"max_wait_us\":{},\"queue_cap\":{},\"precision\":{},\"prec_infers\":{{{}}},\"batch_hist\":{{{}}},\"model\":{}}}",
             self.requests.load(Ordering::Relaxed),
             self.batches.load(Ordering::Relaxed),
             self.shed.load(Ordering::Relaxed),
+            self.deadline_shed.load(Ordering::Relaxed),
+            self.queue_depth.load(Ordering::Relaxed),
+            self.ready_hwm,
+            self.swaps_inflight.load(Ordering::Relaxed),
             self.hotswaps.load(Ordering::Relaxed),
             self.swaps_rejected.load(Ordering::Relaxed),
             self.plan_hits.load(Ordering::Relaxed),
@@ -307,6 +365,37 @@ mod tests {
         assert!(j.contains("\"requests\":1"));
         assert!(j.contains("\"batch_hist\":{\"2\":1}"));
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn readiness_tracks_queue_depth_and_swaps() {
+        let s = ServeStats::new(&ServeConfig {
+            queue_cap: 4,
+            ready_hwm: Some(2),
+            ..ServeConfig::default()
+        });
+        assert!(s.readiness().is_ok());
+        s.queue_push();
+        s.queue_push();
+        assert!(s.readiness().is_ok(), "at the high-water mark is ready");
+        s.queue_push();
+        assert!(s.readiness().is_err(), "above the high-water mark");
+        s.queue_pop();
+        assert!(s.readiness().is_ok());
+        s.swaps_inflight.fetch_add(1, Ordering::Relaxed);
+        assert!(s.readiness().is_err(), "swap in flight blocks readiness");
+        s.swaps_inflight.fetch_sub(1, Ordering::Relaxed);
+        assert!(s.readiness().is_ok());
+        // Saturating pop: never wraps below zero.
+        s.queue_pop();
+        s.queue_pop();
+        s.queue_pop();
+        assert_eq!(s.queue_depth.load(Ordering::Relaxed), 0);
+        let j = s.to_json();
+        assert!(j.contains("\"ready_hwm\":2"), "{j}");
+        assert!(j.contains("\"queue_depth\":0"), "{j}");
+        assert!(j.contains("\"deadline_shed\":0"), "{j}");
+        assert!(j.contains("\"swaps_inflight\":0"), "{j}");
     }
 
     #[test]
